@@ -1,0 +1,36 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test bench vet cover experiments examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/jcrsim -exp all -mc 3
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/edgecaching
+	$(GO) run ./examples/cdn
+	$(GO) run ./examples/hetero
+	$(GO) run ./examples/online
+
+clean:
+	$(GO) clean -testcache

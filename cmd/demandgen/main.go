@@ -1,0 +1,83 @@
+// Command demandgen emits the synthetic per-hour view trace (the stand-in
+// for the paper's YouTube trace) as CSV, optionally with the GPR next-hour
+// forecast column per video (the Fig. 4 data).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jcr/internal/demand"
+	"jcr/internal/gpr"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "demandgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		videos  = flag.Int("videos", 12, "number of Table-1 videos")
+		hours   = flag.Int("hours", demand.TrainingHours+demand.CollectionHours, "trace length in hours")
+		seed    = flag.Int64("seed", 1, "random seed")
+		predict = flag.Int("predict", 0, "also emit GPR forecasts for the last N hours")
+		window  = flag.Int("window", 168, "GPR training window (hours)")
+	)
+	flag.Parse()
+
+	vids := demand.TopVideos(*videos)
+	trace := demand.SynthesizeTrace(vids, *hours, *seed)
+
+	fmt.Print("hour")
+	for _, v := range vids {
+		fmt.Printf(",%s", v.ID)
+	}
+	if *predict > 0 {
+		for _, v := range vids {
+			fmt.Printf(",%s_pred", v.ID)
+		}
+	}
+	fmt.Println()
+
+	preds := map[[2]int]float64{}
+	if *predict > 0 {
+		for v := range vids {
+			for h := *hours - *predict; h < *hours; h++ {
+				lo := h - *window
+				if lo < 0 {
+					lo = 0
+				}
+				series := make([]float64, h-lo)
+				for t := lo; t < h; t++ {
+					series[t-lo] = trace.Views[t][v]
+				}
+				m, err := gpr.FitAuto(series)
+				if err != nil {
+					return err
+				}
+				preds[[2]int{v, h}] = m.PredictSeries(1)[0]
+			}
+		}
+	}
+	for h := 0; h < *hours; h++ {
+		fmt.Print(h)
+		for v := range vids {
+			fmt.Printf(",%.3f", trace.Views[h][v])
+		}
+		if *predict > 0 {
+			for v := range vids {
+				if p, ok := preds[[2]int{v, h}]; ok {
+					fmt.Printf(",%.3f", p)
+				} else {
+					fmt.Print(",")
+				}
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+// Command jcrsim runs the paper-reproduction experiments: every table and
+// figure of the evaluation (Section 6, Appendices C-D) by id.
+//
+// Usage:
+//
+//	jcrsim -list
+//	jcrsim -exp fig5 [-mc 10] [-hours 10,40,70] [-seed 1]
+//	jcrsim -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"jcr/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "jcrsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		list  = flag.Bool("list", false, "list available experiments")
+		exp   = flag.String("exp", "", "experiment id to run, or 'all'")
+		mc    = flag.Int("mc", 0, "Monte-Carlo runs per data point (0 = default)")
+		hours = flag.String("hours", "", "comma-separated evaluation hours within the 100-hour window")
+		seed  = flag.Int64("seed", 0, "random seed (0 = default)")
+		k     = flag.Int("k", 0, "candidate paths for the [3] baseline (0 = default)")
+		csv   = flag.Bool("csv", false, "emit figure data as CSV instead of text tables")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.Registry() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Description)
+		}
+		if *exp == "" && !*list {
+			return fmt.Errorf("pass -exp <id> or -list")
+		}
+		return nil
+	}
+	cfg := experiments.DefaultConfig()
+	if *mc > 0 {
+		cfg.MonteCarloRuns = *mc
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *k > 0 {
+		cfg.CandidatePaths = *k
+	}
+	if *hours != "" {
+		cfg.Hours = nil
+		for _, part := range strings.Split(*hours, ",") {
+			h, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad -hours entry %q: %w", part, err)
+			}
+			cfg.Hours = append(cfg.Hours, h)
+		}
+	}
+	if *exp == "all" {
+		type timing struct {
+			id      string
+			elapsed time.Duration
+		}
+		var timings []timing
+		for _, e := range experiments.Registry() {
+			start := time.Now()
+			out, err := e.Run(cfg)
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			timings = append(timings, timing{e.ID, time.Since(start)})
+			fmt.Println(out)
+		}
+		fmt.Println("== experiment wall times ==")
+		var total time.Duration
+		for _, tm := range timings {
+			fmt.Printf("  %-8s %8.2fs\n", tm.id, tm.elapsed.Seconds())
+			total += tm.elapsed
+		}
+		fmt.Printf("  %-8s %8.2fs\n", "total", total.Seconds())
+		return nil
+	}
+	e, err := experiments.Lookup(*exp)
+	if err != nil {
+		return err
+	}
+	if *csv {
+		if e.Figures == nil {
+			return fmt.Errorf("experiment %q has no figure data for CSV export", e.ID)
+		}
+		figs, err := e.Figures(cfg)
+		if err != nil {
+			return err
+		}
+		for i := range figs {
+			fmt.Printf("# %s: %s\n%s\n", figs[i].ID, figs[i].Title, figs[i].CSV())
+		}
+		return nil
+	}
+	out, err := e.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(out)
+	return nil
+}

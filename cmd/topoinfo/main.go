@@ -1,0 +1,47 @@
+// Command topoinfo prints the evaluation topologies with their origin and
+// edge-node designations (the Fig. 3 / Fig. 14 information).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jcr/internal/topo"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	nets := []*topo.Network{
+		topo.Abovenet(*seed),
+		topo.Abvt(*seed),
+		topo.Tinet(*seed),
+		topo.Deltacom(*seed),
+	}
+	for _, n := range nets {
+		links := n.G.NumArcs() / 2
+		fmt.Printf("%s: |V|=%d |E|=%d origin=%d (degree %d)\n",
+			n.Name, n.G.NumNodes(), links, n.Origin, n.G.UndirectedDegree(n.Origin))
+		fmt.Printf("  edge nodes:")
+		for _, e := range n.Edges {
+			fmt.Printf(" %d(deg %d)", e, n.G.UndirectedDegree(e))
+		}
+		fmt.Println()
+		hist := map[int]int{}
+		for v := 0; v < n.G.NumNodes(); v++ {
+			hist[n.G.UndirectedDegree(v)]++
+		}
+		fmt.Printf("  degree histogram:")
+		for d := 1; d <= 16; d++ {
+			if hist[d] > 0 {
+				fmt.Printf(" %d:%d", d, hist[d])
+			}
+		}
+		fmt.Println()
+	}
+	if len(nets) == 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,63 @@
+// Online operation: re-optimize caching and routing every hour from
+// Gaussian-process demand forecasts and serve the realized demand,
+// comparing adaptive, warm-started, and frozen policies on cost,
+// congestion, and placement churn (items moved per hour).
+//
+//	go run ./examples/online
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jcr"
+	"jcr/internal/experiments"
+	"jcr/internal/online"
+)
+
+func main() {
+	cfg := jcr.DefaultExperimentConfig()
+	cfg.GPRWindow = 96
+	sc := experiments.NewScenario(cfg, nil)
+
+	// Eight consecutive hours of the trace; decisions see only the GPR
+	// forecast, evaluation uses the realized demand.
+	var hours []online.HourInput
+	for h := 0; h < 8; h++ {
+		run, err := sc.MakeRun(experiments.RunParams{
+			Mode: experiments.GPRPrediction,
+			Hour: 40 + h,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		hours = append(hours, online.HourInput{
+			Hour:     40 + h,
+			Decision: run.Decision,
+			Truth:    run.Truth,
+			Dist:     run.Dist,
+		})
+	}
+
+	fmt.Println("online edge caching over 8 hours (decisions on GPR forecasts):")
+	fmt.Printf("%-28s %14s %12s %8s\n", "policy", "total cost", "mean cong.", "churn")
+	for _, pol := range []online.Policy{
+		&online.AlternatingPolicy{},
+		&online.AlternatingPolicy{WarmStart: true},
+		&online.StaticPolicy{Inner: &online.AlternatingPolicy{}},
+		online.SPPolicy{Origin: sc.Net.Origin},
+		online.RNRPolicy{},
+	} {
+		series, err := online.Simulate(pol, hours)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %14.4g %12.3f %8d\n",
+			series.Policy, series.TotalCost(), series.MeanCongestion(), series.TotalChurn())
+	}
+	fmt.Println("\nchurn counts cache entries changed between consecutive hours. The")
+	fmt.Println("cold-started optimizer tracks demand drift at the price of churn;")
+	fmt.Println("warm-starting keeps the incumbent placement unless re-optimizing")
+	fmt.Println("strictly improves it, trading adaptivity for stability. The")
+	fmt.Println("capacity-oblivious RNR baseline is cheap but congests links 10x.")
+}

@@ -1,0 +1,69 @@
+// Quickstart: build a tiny cache network, place content with Algorithm 1
+// (unlimited link capacities), and serve requests from the nearest replica.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jcr"
+)
+
+func main() {
+	// A small ISP-like network:
+	//
+	//	origin(0) --50-- core(1) --2-- edge A(2)
+	//	                   |            |
+	//	                   3------------+--1-- edge B(3)
+	//
+	// The origin permanently stores the whole catalog; each edge node
+	// hosts a one-item cache.
+	g := jcr.NewGraph(4)
+	g.AddEdge(0, 1, 50, jcr.Unlimited) // expensive origin uplink
+	g.AddEdge(1, 2, 2, jcr.Unlimited)
+	g.AddEdge(1, 3, 3, jcr.Unlimited)
+	g.AddEdge(2, 3, 1, jcr.Unlimited)
+
+	spec := &jcr.Spec{
+		G:        g,
+		NumItems: 3,
+		CacheCap: []float64{0, 0, 1, 1}, // one item per edge cache
+		Pinned:   []int{0},              // the origin stores everything
+		Rates: [][]float64{
+			// item 0: hot at edge A, mild at edge B
+			{0, 0, 8, 2},
+			// item 1: hot at edge B
+			{0, 0, 1, 6},
+			// item 2: lukewarm everywhere
+			{0, 0, 1, 1},
+		},
+	}
+
+	dist := jcr.AllPairs(g)
+	res, err := jcr.Alg1(spec, dist)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Algorithm 1 placement (unlimited link capacities):")
+	for v := 0; v < g.NumNodes(); v++ {
+		for i := 0; i < spec.NumItems; i++ {
+			if res.Placement.Has(v, i) && !spec.IsPinned(v) {
+				fmt.Printf("  node %d caches item %d\n", v, i)
+			}
+		}
+	}
+	fmt.Printf("total routing cost under route-to-nearest-replica: %.1f\n", res.Cost)
+	for rq, src := range res.Sources {
+		fmt.Printf("  request (item %d @ node %d) served from node %d\n", rq.Item, rq.Node, src)
+	}
+
+	// Compare against serving everything from the origin.
+	var originCost float64
+	for _, rq := range spec.Requests() {
+		originCost += spec.Rates[rq.Item][rq.Node] * dist[0][rq.Node]
+	}
+	fmt.Printf("origin-only cost would be %.1f (%.1fx worse)\n", originCost, originCost/res.Cost)
+}

@@ -1,0 +1,3 @@
+module jcr
+
+go 1.22

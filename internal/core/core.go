@@ -1,0 +1,150 @@
+// Package core ties the substrates together into the paper's joint caching
+// and routing optimization (Eq. 1): the three regimes (FC-FR, IC-FR,
+// IC-IR), the exact FC-FR linear program, and the alternating optimization
+// algorithm of Section 4.3.3 for general link and cache capacities.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"jcr/internal/placement"
+	"jcr/internal/routing"
+)
+
+// Regime selects the integrality requirements of Eq. (1g)-(1h).
+type Regime int
+
+// The three regimes of Section 2.4 (FC-IR reduces to IC-IR and is omitted,
+// as in the paper).
+const (
+	// FCFR: fractional caching and fractional routing; an LP.
+	FCFR Regime = iota + 1
+	// ICFR: integral caching, fractional routing; NP-hard.
+	ICFR
+	// ICIR: integral caching and integral routing; NP-hard, the paper's
+	// evaluation focus.
+	ICIR
+)
+
+func (r Regime) String() string {
+	switch r {
+	case FCFR:
+		return "FC-FR"
+	case ICFR:
+		return "IC-FR"
+	case ICIR:
+		return "IC-IR"
+	default:
+		return fmt.Sprintf("Regime(%d)", int(r))
+	}
+}
+
+// Solution is a joint caching and routing solution.
+type Solution struct {
+	Placement *placement.Placement
+	Routing   *routing.Result
+	// Cost is the total routing cost (1a).
+	Cost float64
+	// MaxUtilization is the worst link load-to-capacity ratio; above 1
+	// the solution exceeds some link capacity.
+	MaxUtilization float64
+	// Iterations counts alternating-optimization rounds actually run.
+	Iterations int
+}
+
+// AlternatingOptions configure the Section 4.3.3 optimizer.
+type AlternatingOptions struct {
+	// MaxIters bounds the alternating rounds; the paper observes
+	// convergence within 10 in all evaluated cases. Zero means 10.
+	MaxIters int
+	// Fractional selects IC-FR (MMSFP routing); default is IC-IR
+	// (MMUFP via randomized rounding).
+	Fractional bool
+	// PlacementMethod picks the Section 4.3.1 subroutine variant.
+	PlacementMethod placement.PerPathMethod
+	// Routing carries the routing solver's knobs; its Fractional field
+	// is overridden by the option above.
+	Routing routing.Options
+	// Initial optionally seeds the placement; nil starts from the
+	// pinned-only placement (everything served by the origin), a
+	// trivially feasible solution.
+	Initial *placement.Placement
+	// Rng drives randomized rounding; nil uses a fixed seed.
+	Rng *rand.Rand
+}
+
+// Alternating runs the paper's alternating optimization: starting from a
+// feasible solution, it alternately (1) re-places content to maximize the
+// saving F_{r,f} along the current serving paths (Section 4.3.1) and
+// (2) re-routes under the new placement (Section 4.3.2), keeping the new
+// solution only when it improves cost (with congestion as tie-breaker), and
+// stopping at the first non-improving round or after MaxIters.
+func Alternating(s *placement.Spec, opts AlternatingOptions) (*Solution, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MaxIters <= 0 {
+		opts.MaxIters = 10
+	}
+	if opts.Rng == nil {
+		opts.Rng = rand.New(rand.NewSource(1))
+	}
+	ropts := opts.Routing
+	ropts.Fractional = opts.Fractional
+	if ropts.Rng == nil {
+		ropts.Rng = opts.Rng
+	}
+	pl := opts.Initial
+	if pl == nil {
+		pl = s.NewPlacement()
+	}
+	route, err := routing.Route(s, pl, ropts)
+	if err != nil {
+		return nil, fmt.Errorf("core: initial routing: %w", err)
+	}
+	best := &Solution{Placement: pl, Routing: route, Cost: route.Cost, MaxUtilization: route.MaxUtilization}
+	for iter := 1; iter <= opts.MaxIters; iter++ {
+		// Placement step: the serving paths of the incumbent routing
+		// define F_{r,f}; fractional path rates are handled natively.
+		newPl, err := placement.PlacePerPath(s, best.Routing.Paths, opts.PlacementMethod)
+		if err != nil {
+			return nil, fmt.Errorf("core: iteration %d placement: %w", iter, err)
+		}
+		newRoute, err := routing.Route(s, newPl, ropts)
+		if err != nil {
+			return nil, fmt.Errorf("core: iteration %d routing: %w", iter, err)
+		}
+		best.Iterations = iter
+		improved := newRoute.Cost < best.Cost*(1-1e-9) ||
+			(newRoute.Cost <= best.Cost*(1+1e-9) && newRoute.MaxUtilization < best.MaxUtilization-1e-9)
+		if !improved {
+			break
+		}
+		best.Placement = newPl
+		best.Routing = newRoute
+		best.Cost = newRoute.Cost
+		best.MaxUtilization = newRoute.MaxUtilization
+	}
+	return best, nil
+}
+
+// Validate checks that a solution respects cache capacities and serves
+// every request in full, and reports the worst link utilization.
+func Validate(s *placement.Spec, sol *Solution) error {
+	if err := s.CheckFeasible(sol.Placement); err != nil {
+		return err
+	}
+	served := map[placement.Request]float64{}
+	for _, sp := range sol.Routing.Paths {
+		served[sp.Req] += sp.Rate
+	}
+	for _, rq := range s.Requests() {
+		want := s.Rates[rq.Item][rq.Node]
+		if math.Abs(served[rq]-want) > 1e-6*(1+want) {
+			return fmt.Errorf("core: request %+v served %.6g of %.6g", rq, served[rq], want)
+		}
+	}
+	return nil
+}

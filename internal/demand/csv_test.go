@@ -1,0 +1,73 @@
+package demand
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseTraceCSV(t *testing.T) {
+	src := `hour,vidA,vidB,vidA_pred
+0,10,20,9.5
+1,11,19,
+2,12.5,18,13
+`
+	tr, names, err := ParseTraceCSV(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "vidA" || names[1] != "vidB" {
+		t.Fatalf("names = %v", names)
+	}
+	if tr.Hours() != 3 || tr.NumVideos() != 2 {
+		t.Fatalf("dims = %dx%d", tr.Hours(), tr.NumVideos())
+	}
+	if tr.Views[2][0] != 12.5 || tr.Views[0][1] != 20 {
+		t.Errorf("values wrong: %v", tr.Views)
+	}
+}
+
+func TestParseTraceCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"only header": "hour,a",
+		"no videos":   "hour\n0\n",
+		"bad value":   "hour,a\n0,x\n",
+		"negative":    "hour,a\n0,-1\n",
+		"empty name":  "hour,,b\n0,1,2\n",
+	}
+	for name, src := range cases {
+		if _, _, err := ParseTraceCSV(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	orig := SynthesizeTrace(TopVideos(3), 24, 5)
+	names := []string{"a", "b", "c"}
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, orig, names); err != nil {
+		t.Fatal(err)
+	}
+	back, gotNames, err := ParseTraceCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotNames) != 3 {
+		t.Fatalf("names = %v", gotNames)
+	}
+	if back.Hours() != orig.Hours() || back.NumVideos() != orig.NumVideos() {
+		t.Fatalf("dims changed: %dx%d", back.Hours(), back.NumVideos())
+	}
+	for h := range orig.Views {
+		for v := range orig.Views[h] {
+			if back.Views[h][v] != orig.Views[h][v] {
+				t.Fatalf("value changed at (%d,%d): %v vs %v", h, v, back.Views[h][v], orig.Views[h][v])
+			}
+		}
+	}
+	if err := WriteTraceCSV(&bytes.Buffer{}, orig, []string{"a"}); err == nil {
+		t.Error("wrong name count accepted")
+	}
+}

@@ -1,0 +1,216 @@
+package demand
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTable1MatchesPaperTotals(t *testing.T) {
+	top := TopVideos(10)
+	if len(top) != 10 {
+		t.Fatalf("TopVideos(10) returned %d videos", len(top))
+	}
+	chunks := 0
+	var rate float64
+	for _, v := range top {
+		chunks += v.Chunks
+		rate += float64(v.TotalViews) * float64(v.Chunks) / CollectionHours
+	}
+	// Section 6: |C| = 54 chunks, total rate 1949666.52 chunks/hour.
+	if chunks != 54 {
+		t.Errorf("top-10 chunk count = %d, want 54", chunks)
+	}
+	if math.Abs(rate-1949666.52) > 0.01 {
+		t.Errorf("total chunk request rate = %v, want 1949666.52", rate)
+	}
+}
+
+func TestChunkCatalogMatchesTable1(t *testing.T) {
+	items := ChunkCatalog(Table1, DefaultChunkMB)
+	perVideo := map[int]int{}
+	for _, it := range items {
+		perVideo[it.Video]++
+		if it.SizeMB != DefaultChunkMB {
+			t.Errorf("chunk %s has size %v, want %v", it.Name, it.SizeMB, float64(DefaultChunkMB))
+		}
+	}
+	for v, vid := range Table1 {
+		if perVideo[v] != vid.Chunks {
+			t.Errorf("video %s: catalog has %d chunks, Table 1 says %d", vid.ID, perVideo[v], vid.Chunks)
+		}
+	}
+}
+
+func TestChunkCatalogSmallChunks(t *testing.T) {
+	// Appendix D.2: top-10 videos = 199 chunks at 25 MB, 103 at 50 MB.
+	top := TopVideos(10)
+	if got := len(ChunkCatalog(top, 25)); got != 199 {
+		t.Errorf("25-MB chunk count = %d, want 199", got)
+	}
+	if got := len(ChunkCatalog(top, 50)); got != 103 {
+		t.Errorf("50-MB chunk count = %d, want 103", got)
+	}
+	if got := len(ChunkCatalog(top, 100)); got != 54 {
+		t.Errorf("100-MB chunk count = %d, want 54", got)
+	}
+}
+
+func TestFileCatalog(t *testing.T) {
+	items := FileCatalog(TopVideos(10))
+	if len(items) != 10 {
+		t.Fatalf("file catalog size = %d, want 10", len(items))
+	}
+	for v, it := range items {
+		if it.SizeMB != Table1[v].SizeMB || it.Chunk != -1 {
+			t.Errorf("item %d = %+v does not match Table 1", v, it)
+		}
+	}
+}
+
+func TestSynthesizeTraceScaling(t *testing.T) {
+	videos := TopVideos(12)
+	hours := TrainingHours + CollectionHours
+	tr := SynthesizeTrace(videos, hours, 1)
+	if tr.Hours() != hours || tr.NumVideos() != 12 {
+		t.Fatalf("trace dims = %dx%d, want %dx12", tr.Hours(), tr.NumVideos(), hours)
+	}
+	for v, vid := range videos {
+		var sum float64
+		for h := hours - CollectionHours; h < hours; h++ {
+			sum += tr.Views[h][v]
+		}
+		if math.Abs(sum-float64(vid.TotalViews)) > 1e-6*float64(vid.TotalViews) {
+			t.Errorf("video %s: last-window views %v, want %d", vid.ID, sum, vid.TotalViews)
+		}
+		for h := 0; h < hours; h++ {
+			if tr.Views[h][v] < 0 {
+				t.Fatalf("negative views at hour %d video %d", h, v)
+			}
+		}
+	}
+}
+
+func TestSynthesizeTraceDeterministic(t *testing.T) {
+	a := SynthesizeTrace(TopVideos(3), 48, 7)
+	b := SynthesizeTrace(TopVideos(3), 48, 7)
+	for h := range a.Views {
+		for v := range a.Views[h] {
+			if a.Views[h][v] != b.Views[h][v] {
+				t.Fatal("trace not deterministic for equal seeds")
+			}
+		}
+	}
+	c := SynthesizeTrace(TopVideos(3), 48, 8)
+	same := true
+	for h := range a.Views {
+		for v := range a.Views[h] {
+			if a.Views[h][v] != c.Views[h][v] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	tr := SynthesizeTrace(TopVideos(2), 10, 3)
+	s := tr.Series(1)
+	for h := range s {
+		if s[h] != tr.Views[h][1] {
+			t.Fatalf("Series mismatch at hour %d", h)
+		}
+	}
+}
+
+func TestPerturbedTrace(t *testing.T) {
+	tr := SynthesizeTrace(TopVideos(4), 200, 5)
+	p := PerturbedTrace(tr, 100, 150, 0.2, 9)
+	if p.Hours() != 50 || p.NumVideos() != 4 {
+		t.Fatalf("perturbed dims = %dx%d", p.Hours(), p.NumVideos())
+	}
+	var diff, base float64
+	for h := 0; h < 50; h++ {
+		for v := 0; v < 4; v++ {
+			if p.Views[h][v] < 0 {
+				t.Fatal("negative perturbed views")
+			}
+			diff += math.Abs(p.Views[h][v] - tr.Views[100+h][v])
+			base += tr.Views[100+h][v]
+		}
+	}
+	if diff == 0 {
+		t.Error("sigma=0.2 produced no perturbation")
+	}
+	zero := PerturbedTrace(tr, 100, 150, 0, 9)
+	for h := 0; h < 50; h++ {
+		for v := 0; v < 4; v++ {
+			if zero.Views[h][v] != tr.Views[100+h][v] {
+				t.Fatal("sigma=0 should reproduce the trace")
+			}
+		}
+	}
+}
+
+func TestItemRates(t *testing.T) {
+	videos := TopVideos(2)
+	chunkItems := ChunkCatalog(videos, 100)
+	views := []float64{10, 20}
+	cr := ItemRates(chunkItems, views, false)
+	for i, it := range chunkItems {
+		if cr[i] != views[it.Video] {
+			t.Errorf("chunk rate[%d] = %v, want %v", i, cr[i], views[it.Video])
+		}
+	}
+	fileItems := FileCatalog(videos)
+	fr := ItemRates(fileItems, views, true)
+	for i, it := range fileItems {
+		want := views[i] * it.SizeMB
+		if fr[i] != want {
+			t.Errorf("file rate[%d] = %v, want %v", i, fr[i], want)
+		}
+	}
+}
+
+func TestSpreadToEdgesConserves(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rates := []float64{100, 0, 7.5}
+	out := SpreadToEdges(rates, 5, rng)
+	for i, row := range out {
+		var sum float64
+		for _, r := range row {
+			if r < 0 {
+				t.Fatal("negative edge rate")
+			}
+			sum += r
+		}
+		if math.Abs(sum-rates[i]) > 1e-9*(1+rates[i]) {
+			t.Errorf("item %d: spread sums to %v, want %v", i, sum, rates[i])
+		}
+	}
+}
+
+func TestZipf(t *testing.T) {
+	p := Zipf(5, 1.0)
+	var sum float64
+	for i := range p {
+		sum += p[i]
+		if i > 0 && p[i] > p[i-1] {
+			t.Errorf("Zipf weights not decreasing: %v", p)
+		}
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("Zipf weights sum to %v, want 1", sum)
+	}
+	if math.Abs(p[0]/p[1]-2) > 1e-12 {
+		t.Errorf("alpha=1: p0/p1 = %v, want 2", p[0]/p[1])
+	}
+	u := Zipf(4, 0)
+	for _, v := range u {
+		if math.Abs(v-0.25) > 1e-12 {
+			t.Errorf("alpha=0 should be uniform, got %v", u)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package demand
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Trace holds per-hour view counts: Views[h][v] is the number of views of
+// video v during hour h.
+type Trace struct {
+	Views [][]float64
+}
+
+// Hours reports the trace length.
+func (t *Trace) Hours() int { return len(t.Views) }
+
+// NumVideos reports the number of videos tracked.
+func (t *Trace) NumVideos() int {
+	if len(t.Views) == 0 {
+		return 0
+	}
+	return len(t.Views[0])
+}
+
+// Series returns the per-hour views of one video.
+func (t *Trace) Series(v int) []float64 {
+	out := make([]float64, t.Hours())
+	for h := range t.Views {
+		out[h] = t.Views[h][v]
+	}
+	return out
+}
+
+// SynthesizeTrace generates an hours-long per-hour view trace for the given
+// videos. It substitutes for the paper's collected YouTube trace: each
+// video's series combines a daily (24-hour) periodic profile with a
+// video-specific phase, a slow popularity trend, and multiplicative
+// lognormal noise; the final CollectionHours hours are scaled so each
+// video's total views match Table 1 exactly (so all rate-derived constants
+// in Section 6, like the 0.7% default link capacity, match the paper).
+func SynthesizeTrace(videos []Video, hours int, seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	views := make([][]float64, hours)
+	for h := range views {
+		views[h] = make([]float64, len(videos))
+	}
+	for v, vid := range videos {
+		phase := rng.Float64() * 24
+		amp := 0.3 + 0.4*rng.Float64()                        // diurnal swing
+		trend := (rng.Float64() - 0.5) * 0.8 / float64(hours) // slow drift per hour
+		sigma := 0.15 + 0.15*rng.Float64()
+		raw := make([]float64, hours)
+		for h := 0; h < hours; h++ {
+			base := 1 + amp*math.Sin(2*math.Pi*(float64(h)-phase)/24)
+			drift := math.Exp(trend * float64(h))
+			noise := math.Exp(sigma * rng.NormFloat64())
+			raw[h] = base * drift * noise
+		}
+		// Scale so the last CollectionHours sum to TotalViews.
+		lo := hours - CollectionHours
+		if lo < 0 {
+			lo = 0
+		}
+		var windowSum float64
+		for h := lo; h < hours; h++ {
+			windowSum += raw[h]
+		}
+		scale := float64(vid.TotalViews) / windowSum
+		for h := 0; h < hours; h++ {
+			views[h][v] = raw[h] * scale
+		}
+	}
+	return &Trace{Views: views}
+}
+
+// PerturbedTrace returns a copy of the hour range [from, to) of the trace
+// with additive N(0, sigma^2) errors (clamped at zero), the synthetic
+// prediction-error model of the paper's Appendix D.3. Sigma is expressed as
+// a fraction of each video's mean hourly views so one knob spans videos of
+// very different popularity.
+func PerturbedTrace(t *Trace, from, to int, sigmaFrac float64, seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	nv := t.NumVideos()
+	mean := make([]float64, nv)
+	for h := from; h < to; h++ {
+		for v := 0; v < nv; v++ {
+			mean[v] += t.Views[h][v]
+		}
+	}
+	for v := range mean {
+		mean[v] /= float64(to - from)
+	}
+	views := make([][]float64, to-from)
+	for h := range views {
+		views[h] = make([]float64, nv)
+		for v := 0; v < nv; v++ {
+			p := t.Views[from+h][v] + sigmaFrac*mean[v]*rng.NormFloat64()
+			if p < 0 {
+				p = 0
+			}
+			views[h][v] = p
+		}
+	}
+	return &Trace{Views: views}
+}
+
+// ItemRates converts one hour's video views into per-item request rates.
+// At chunk level each chunk of a video is requested at the video's view
+// rate (a viewing fetches every chunk), measured in chunks/hour; at file
+// level each file is requested at the video's view rate and rates are
+// measured in MB/hour (views * file size).
+func ItemRates(items []Item, videoViews []float64, fileLevel bool) []float64 {
+	rates := make([]float64, len(items))
+	for i, it := range items {
+		v := videoViews[it.Video]
+		if fileLevel {
+			rates[i] = v * it.SizeMB
+		} else {
+			rates[i] = v
+		}
+	}
+	return rates
+}
+
+// SpreadToEdges distributes each item's request rate across the edge nodes
+// with random proportions (the paper randomly distributes each video's
+// requests among edge nodes). The proportions are drawn once per call;
+// passing the same rng state reproduces a Monte-Carlo run. The result is
+// rates[item][edgeIndex].
+func SpreadToEdges(itemRates []float64, numEdges int, rng *rand.Rand) [][]float64 {
+	out := make([][]float64, len(itemRates))
+	for i, r := range itemRates {
+		weights := make([]float64, numEdges)
+		var sum float64
+		for e := range weights {
+			w := rng.ExpFloat64()
+			weights[e] = w
+			sum += w
+		}
+		out[i] = make([]float64, numEdges)
+		for e := range weights {
+			out[i][e] = r * weights[e] / sum
+		}
+	}
+	return out
+}
+
+// Zipf returns normalized popularity weights p_i proportional to
+// 1/(i+1)^alpha for i = 0..n-1, the synthetic request model used by the
+// conference version of the paper and by [3].
+func Zipf(n int, alpha float64) []float64 {
+	w := make([]float64, n)
+	var sum float64
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -alpha)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}

@@ -1,0 +1,117 @@
+// Package demand models the content catalog and request workload of the
+// paper's evaluation (Section 6): the Table-1 YouTube video statistics, the
+// chunk-level and file-level catalogs derived from them, a synthetic
+// per-hour view trace standing in for the collected YouTube trace, the
+// assignment of requests to edge nodes, and a Zipf generator used by the
+// synthetic experiments of the conference version.
+package demand
+
+// Video is one row of Table 1: a YouTube video with its size, number of
+// 100-MB chunks (last chunk padded), and total views over the 100-hour
+// collection window.
+type Video struct {
+	ID         string
+	SizeMB     float64
+	Chunks     int // number of 100-MB chunks
+	TotalViews int64
+}
+
+// Table1 reproduces the paper's Table 1 exactly. The first ten rows are the
+// "top-10" videos used by the default chunk-level evaluation: they comprise
+// 54 chunks and a total request rate of 1,949,666.52 chunks/hour, the
+// figures quoted in Section 6.
+var Table1 = []Video{
+	{ID: "dNCWe_6HAM8", SizeMB: 450.8789, Chunks: 5, TotalViews: 14144021},
+	{ID: "f5_wn8mexmM", SizeMB: 611.7188, Chunks: 7, TotalViews: 6046921},
+	{ID: "3YqPKLZF_WU", SizeMB: 746.1914, Chunks: 8, TotalViews: 3516996},
+	{ID: "2dTMIH5gCHg", SizeMB: 387.5977, Chunks: 4, TotalViews: 2724433},
+	{ID: "CULF91XH87w", SizeMB: 851.6602, Chunks: 9, TotalViews: 1935258},
+	{ID: "QDYDRA5JPLE", SizeMB: 427.1484, Chunks: 5, TotalViews: 1606676},
+	{ID: "LWAI7HkQMyc", SizeMB: 158.2031, Chunks: 2, TotalViews: 2701699},
+	{ID: "Zpi7CTDvi1A", SizeMB: 709.2773, Chunks: 8, TotalViews: 1286994},
+	{ID: "vH7n1vj-cwQ", SizeMB: 155.5664, Chunks: 2, TotalViews: 128860},
+	{ID: "JNCkUEeUFy0", SizeMB: 308.4961, Chunks: 4, TotalViews: 369157},
+	{ID: "CaimKeDcudo", SizeMB: 337.5, Chunks: 4, TotalViews: 613737},
+	{ID: "gXH7_XaGuPc", SizeMB: 680.2734, Chunks: 7, TotalViews: 368432},
+}
+
+// CollectionHours is the length of the evaluation window over which
+// Table 1's view totals were accumulated.
+const CollectionHours = 100
+
+// TrainingHours is the length of the additional history used to train the
+// demand predictor (Section 6).
+const TrainingHours = 550
+
+// DefaultChunkMB is the chunk size of the default chunk-level simulation.
+const DefaultChunkMB = 100
+
+// TopVideos returns the first n videos of Table 1 (the paper's "top-n").
+func TopVideos(n int) []Video {
+	if n > len(Table1) {
+		n = len(Table1)
+	}
+	out := make([]Video, n)
+	copy(out, Table1[:n])
+	return out
+}
+
+// Item is a cacheable catalog entry: either one fixed-size chunk of a video
+// (chunk-level simulation) or a whole video file (file-level simulation).
+type Item struct {
+	// Name identifies the item, e.g. "dNCWe_6HAM8#3".
+	Name string
+	// SizeMB is the item size; equal for all items at chunk level.
+	SizeMB float64
+	// Video indexes the owning video in the source slice.
+	Video int
+	// Chunk is the chunk index within the video, or -1 for whole files.
+	Chunk int
+}
+
+// ChunkCatalog splits the videos into chunks of chunkMB megabytes each
+// (last chunk padded, per the paper's footnote 4) and returns one item per
+// chunk. With the default 100-MB chunks and the top-10 videos this yields
+// the paper's |C| = 54.
+func ChunkCatalog(videos []Video, chunkMB float64) []Item {
+	var items []Item
+	for v, vid := range videos {
+		n := int((vid.SizeMB + chunkMB - 1e-9) / chunkMB)
+		if n < 1 {
+			n = 1
+		}
+		for c := 0; c < n; c++ {
+			items = append(items, Item{
+				Name:   vid.ID + "#" + itoa(c),
+				SizeMB: chunkMB,
+				Video:  v,
+				Chunk:  c,
+			})
+		}
+	}
+	return items
+}
+
+// FileCatalog returns one heterogeneous-sized item per video, used by the
+// file-level simulation of Section 5.
+func FileCatalog(videos []Video) []Item {
+	items := make([]Item, len(videos))
+	for v, vid := range videos {
+		items[v] = Item{Name: vid.ID, SizeMB: vid.SizeMB, Video: v, Chunk: -1}
+	}
+	return items
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

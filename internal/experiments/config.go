@@ -1,0 +1,61 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 6 and Appendices C-D) on the synthetic stand-ins for
+// the Abovenet topology and the YouTube trace (see DESIGN.md Section 3.5).
+// Each experiment returns structured Figure values that render as aligned
+// text tables; cmd/jcrsim exposes them on the command line and
+// bench_test.go wraps each one in a benchmark.
+package experiments
+
+import "jcr/internal/demand"
+
+// Config carries the evaluation-wide knobs. The zero value is NOT usable;
+// call DefaultConfig.
+type Config struct {
+	// Seed drives all randomness (topology costs, request spreading,
+	// Monte-Carlo runs); runs are deterministic per seed.
+	Seed int64
+	// MonteCarloRuns averages each data point over this many random
+	// request-to-edge assignments. The paper uses 100; the default here
+	// is smaller to keep bench wall time sane and is a knob, not a
+	// constant.
+	MonteCarloRuns int
+	// Hours are the evaluation hours, indexed within the trace's final
+	// 100-hour collection window.
+	Hours []int
+	// NumVideos is the catalog's video count (the paper's top-10).
+	NumVideos int
+	// ChunkMB is the chunk size for chunk-level simulation.
+	ChunkMB float64
+	// ChunkSlots is the per-cache capacity in chunks (zeta = 12).
+	ChunkSlots float64
+	// FileSlots is the per-cache capacity in average file sizes
+	// (zeta = 2).
+	FileSlots float64
+	// CapacityFrac sets every link's capacity to this fraction of the
+	// total request rate (the paper's 0.7%).
+	CapacityFrac float64
+	// CandidatePaths is k for the [3] baseline (default 10).
+	CandidatePaths int
+	// GPRWindow caps the GPR training history length, trading fidelity
+	// for speed (the paper trains on the full >=550-hour history).
+	GPRWindow int
+	// TraceHours is the total synthesized trace length.
+	TraceHours int
+}
+
+// DefaultConfig returns the Section 6 defaults.
+func DefaultConfig() *Config {
+	return &Config{
+		Seed:           1,
+		MonteCarloRuns: 3,
+		Hours:          []int{10, 40, 70},
+		NumVideos:      10,
+		ChunkMB:        demand.DefaultChunkMB,
+		ChunkSlots:     12,
+		FileSlots:      2,
+		CapacityFrac:   0.007,
+		CandidatePaths: 10,
+		GPRWindow:      168,
+		TraceHours:     demand.TrainingHours + demand.CollectionHours,
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"jcr/internal/demand"
+	"jcr/internal/gpr"
+)
+
+// Fig4 reproduces the demand-prediction figure: per-video ground truth vs
+// the Gaussian-process forecast over a window of the collection period,
+// predicting blocks of hours at a time as the paper does (footnote 6).
+// It returns one figure per video plus an error-summary figure.
+func Fig4(cfg *Config, hours int, videos int) ([]Figure, error) {
+	if hours <= 0 {
+		hours = 24
+	}
+	if videos <= 0 || videos > len(demand.Table1) {
+		videos = 12
+	}
+	vids := demand.TopVideos(videos)
+	trace := demand.SynthesizeTrace(vids, cfg.TraceHours, cfg.Seed+2000)
+	start := cfg.TraceHours - demand.CollectionHours
+
+	const block = 5 // predict five hours at a time, then retrain
+	figs := make([]Figure, 0, videos+1)
+	summary := Figure{
+		ID:     "Fig4-summary",
+		Title:  "GPR prediction error per video",
+		XLabel: "video",
+		YLabel: "normalized MAE",
+	}
+	var maeSeries Series
+	maeSeries.Name = "NMAE"
+	for v := 0; v < videos; v++ {
+		truth := make([]float64, hours)
+		pred := make([]float64, hours)
+		for h0 := 0; h0 < hours; h0 += block {
+			lo := start + h0 - cfg.GPRWindow
+			if lo < 0 {
+				lo = 0
+			}
+			series := make([]float64, start+h0-lo)
+			for h := lo; h < start+h0; h++ {
+				series[h-lo] = trace.Views[h][v]
+			}
+			m, err := gpr.FitAuto(series)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: Fig4 video %d: %w", v, err)
+			}
+			p := m.PredictSeries(block)
+			for k := 0; k < block && h0+k < hours; k++ {
+				truth[h0+k] = trace.Views[start+h0+k][v]
+				pred[h0+k] = p[k]
+			}
+		}
+		fig := Figure{
+			ID:     fmt.Sprintf("Fig4-%s", vids[v].ID),
+			Title:  fmt.Sprintf("#views per hour, video %s (solid: truth, dashed: prediction)", vids[v].ID),
+			XLabel: "hour",
+			YLabel: "#views",
+		}
+		tr := Series{Name: "truth"}
+		pr := Series{Name: "prediction"}
+		var mae, mean float64
+		for h := 0; h < hours; h++ {
+			tr.addPoint(float64(h), truth[h])
+			pr.addPoint(float64(h), pred[h])
+			mae += math.Abs(pred[h] - truth[h])
+			mean += truth[h]
+		}
+		fig.Series = []Series{tr, pr}
+		figs = append(figs, fig)
+		if mean > 0 {
+			maeSeries.addPoint(float64(v), mae/mean)
+		}
+	}
+	summary.Series = []Series{maeSeries}
+	figs = append(figs, summary)
+	return figs, nil
+}

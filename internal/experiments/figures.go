@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Series is one labeled curve of a figure: Y[i] measured at X[i].
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a reproduced table or figure: a set of series over a common
+// x-axis, rendered as an aligned text table.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Notes carries provenance remarks (e.g. Monte-Carlo run count).
+	Notes []string
+}
+
+// Render formats the figure as an aligned text table: one row per x value,
+// one column per series.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+	if len(f.Series) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	// Collect the union of x values in order.
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	rows := [][]string{header}
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for _, s := range f.Series {
+			cell := "-"
+			for i := range s.X {
+				if s.X[i] == x {
+					cell = trimFloat(s.Y[i])
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for c, cell := range row {
+			fmt.Fprintf(&b, "%-*s", widths[c]+2, cell)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "  (%s down, %s across)\n", f.XLabel, f.YLabel)
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.4g", v)
+	return s
+}
+
+// CSV renders the figure as comma-separated values with full precision,
+// one row per x value and one column per series, for external plotting.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(f.XLabel))
+	for _, s := range f.Series {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(s.Name))
+	}
+	b.WriteByte('\n')
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range f.Series {
+			b.WriteByte(',')
+			for i := range s.X {
+				if s.X[i] == x {
+					fmt.Fprintf(&b, "%g", s.Y[i])
+					break
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// avg divides each accumulated series value by n (Monte-Carlo averaging).
+func (s *Series) scale(f float64) {
+	for i := range s.Y {
+		s.Y[i] *= f
+	}
+}
+
+// collector accumulates named series for one figure, preserving insertion
+// order, and installs them into the figure when finished.
+type collector struct {
+	fig   *Figure
+	order []string
+	m     map[string]*Series
+}
+
+func newCollector(fig *Figure) *collector {
+	return &collector{fig: fig, m: map[string]*Series{}}
+}
+
+// series returns the named series, creating it on first use.
+func (c *collector) series(name string) *Series {
+	s, ok := c.m[name]
+	if !ok {
+		s = &Series{Name: name}
+		c.m[name] = s
+		c.order = append(c.order, name)
+	}
+	return s
+}
+
+// finish averages all accumulated values over the sample count and
+// installs the series into the figure.
+func (c *collector) finish(samples int, notes ...string) {
+	for _, name := range c.order {
+		s := c.m[name]
+		if samples > 1 {
+			s.scale(1 / float64(samples))
+		}
+		c.fig.Series = append(c.fig.Series, *s)
+	}
+	c.fig.Notes = append(c.fig.Notes, notes...)
+}
+
+// addPoint accumulates y at x, creating the point on first use.
+func (s *Series) addPoint(x, y float64) {
+	for i := range s.X {
+		if s.X[i] == x {
+			s.Y[i] += y
+			return
+		}
+	}
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"jcr/internal/online"
+)
+
+// Online simulates the paper's operational setting over a window of
+// consecutive trace hours: each hour every policy re-optimizes on the GPR
+// prediction and serves the realized demand. Beyond the paper's one-shot
+// figures it also reports placement churn, the operational cost of hourly
+// re-optimization. Figures:
+//   - OnlineA: per-hour routing cost per policy
+//   - OnlineB: per-hour congestion per policy
+//   - OnlineC: cumulative placement churn per policy
+func Online(cfg *Config, window int) ([]Figure, error) {
+	if window <= 0 {
+		window = 12
+	}
+	sc := NewScenario(cfg, nil)
+	// Build the hourly inputs once; all policies see the same workload.
+	var hours []online.HourInput
+	startHour := cfg.Hours[0]
+	for h := 0; h < window; h++ {
+		run, err := sc.MakeRun(RunParams{
+			Mode: GPRPrediction, Hour: startHour + h, MCSeed: 0,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("online hour %d: %w", h, err)
+		}
+		hours = append(hours, online.HourInput{
+			Hour:     startHour + h,
+			Decision: run.Decision,
+			Truth:    run.Truth,
+			Dist:     run.Dist,
+		})
+	}
+	policies := []online.Policy{
+		&online.AlternatingPolicy{},
+		&online.AlternatingPolicy{WarmStart: true},
+		online.SPPolicy{Origin: sc.Net.Origin},
+		online.RNRPolicy{},
+		&online.StaticPolicy{Inner: &online.AlternatingPolicy{}},
+	}
+	figs := []Figure{
+		{ID: "OnlineA", Title: "Online operation: per-hour routing cost (GPR-predicted demand)", XLabel: "hour", YLabel: "routing cost"},
+		{ID: "OnlineB", Title: "Online operation: per-hour congestion", XLabel: "hour", YLabel: "max load/capacity"},
+		{ID: "OnlineC", Title: "Online operation: cumulative placement churn", XLabel: "hour", YLabel: "items moved (cumulative)"},
+	}
+	cCost := newCollector(&figs[0])
+	cCong := newCollector(&figs[1])
+	cChurn := newCollector(&figs[2])
+	for _, pol := range policies {
+		series, err := online.Simulate(pol, hours)
+		if err != nil {
+			return nil, err
+		}
+		cum := 0
+		for _, h := range series.Hours {
+			cCost.series(series.Policy).addPoint(float64(h.Hour), h.Cost)
+			cCong.series(series.Policy).addPoint(float64(h.Hour), h.Congestion)
+			cum += h.Churn
+			cChurn.series(series.Policy).addPoint(float64(h.Hour), float64(cum))
+		}
+	}
+	note := fmt.Sprintf("%d-hour window starting at collection hour %d; decisions on GPR forecasts", window, startHour)
+	cCost.finish(1, note)
+	cCong.finish(1, note)
+	cChurn.finish(1, note)
+	return figs, nil
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Experiment is one runnable reproduction target.
+type Experiment struct {
+	ID          string
+	Description string
+	// Run executes the experiment and returns its rendered output.
+	Run func(cfg *Config) (string, error)
+	// Figures, when non-nil, returns the structured data behind the
+	// rendering (text tables render figure data; table experiments
+	// produce prose and leave this nil). Used for CSV export.
+	Figures func(cfg *Config) ([]Figure, error)
+}
+
+// Registry lists every reproduced table and figure by id.
+func Registry() []Experiment {
+	renderFigs := func(f func(*Config) ([]Figure, error)) func(*Config) (string, error) {
+		return func(cfg *Config) (string, error) {
+			figs, err := f(cfg)
+			if err != nil {
+				return "", err
+			}
+			var b strings.Builder
+			for i := range figs {
+				b.WriteString(figs[i].Render())
+				b.WriteByte('\n')
+			}
+			return b.String(), nil
+		}
+	}
+	fig4 := func(cfg *Config) ([]Figure, error) { return Fig4(cfg, 24, 12) }
+	onlineFigs := func(cfg *Config) ([]Figure, error) { return Online(cfg, 12) }
+	return []Experiment{
+		{ID: "table1", Description: "Table 1: video statistics", Run: func(*Config) (string, error) { return Table1(), nil }},
+		{ID: "fig4", Description: "Fig. 4: GPR demand prediction vs ground truth", Run: renderFigs(fig4), Figures: fig4},
+		{ID: "fig5", Description: "Fig. 5: unlimited link capacities (Alg. 1 / greedy vs [3], [38])", Run: renderFigs(Fig5), Figures: Fig5},
+		{ID: "fig6", Description: "Fig. 6: binary cache capacities (Alg. 2 vs [33], RNR, splittable)", Run: renderFigs(Fig6), Figures: Fig6},
+		{ID: "fig7", Description: "Fig. 7: general case, varying cache capacity", Run: renderFigs(Fig7), Figures: Fig7},
+		{ID: "fig8", Description: "Fig. 8: general case, varying link capacity", Run: renderFigs(Fig8), Figures: Fig8},
+		{ID: "table2", Description: "Table 2: qualitative summary (chunk level, IC-IR)", Run: Table2},
+		{ID: "table3", Description: "Table 3: execution times, chunk level", Run: func(cfg *Config) (string, error) { return ExecTimes(cfg, false) }},
+		{ID: "table4", Description: "Table 4: execution times, file level", Run: func(cfg *Config) (string, error) { return ExecTimes(cfg, true) }},
+		{ID: "fig11", Description: "Fig. 11: varying #videos", Run: renderFigs(Fig11), Figures: Fig11},
+		{ID: "fig12", Description: "Fig. 12: varying chunk size", Run: renderFigs(Fig12), Figures: Fig12},
+		{ID: "fig13", Description: "Fig. 13: varying prediction error", Run: renderFigs(Fig13), Figures: Fig13},
+		{ID: "fig15", Description: "Fig. 14-15: varying network topology", Run: renderFigs(Fig15), Figures: Fig15},
+		{ID: "table5", Description: "Table 5: topologies and parameters (Appendix D.4)", Run: Table5},
+		{ID: "online", Description: "extension: hourly online operation with churn accounting", Run: renderFigs(onlineFigs), Figures: onlineFigs},
+		{ID: "regimes", Description: "extension: FC-FR / IC-FR / IC-IR exact regime comparison", Run: Regimes},
+		{ID: "zipf", Description: "extension: synthetic Zipf demand sweep (conference version)", Run: renderFigs(ZipfSweep), Figures: ZipfSweep},
+		{ID: "ablation", Description: "extension: ablations of implementation choices", Run: Ablation},
+	}
+}
+
+// Lookup finds an experiment by id.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range Registry() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have: %s)", id, strings.Join(ids, ", "))
+}

@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"jcr/internal/demand"
+)
+
+// Table1 renders the paper's Table 1 from the embedded video statistics
+// and cross-checks the Section 6 aggregate figures (54 chunks, total rate
+// 1,949,666.52 chunks/hour for the top 10).
+func Table1() string {
+	var b strings.Builder
+	b.WriteString("== Table 1: Statistics of YouTube Videos in Evaluation ==\n")
+	fmt.Fprintf(&b, "%-13s %10s %8s %12s\n", "video_id", "size (MB)", "#chunks", "total #views")
+	for _, v := range demand.Table1 {
+		fmt.Fprintf(&b, "%-13s %10.4f %8d %12d\n", v.ID, v.SizeMB, v.Chunks, v.TotalViews)
+	}
+	top := demand.TopVideos(10)
+	chunks := 0
+	var rate float64
+	for _, v := range top {
+		chunks += v.Chunks
+		rate += float64(v.TotalViews) * float64(v.Chunks) / demand.CollectionHours
+	}
+	fmt.Fprintf(&b, "top-10 totals: |C| = %d chunks, request rate = %.2f chunks/hour\n", chunks, rate)
+	return b.String()
+}

@@ -1,0 +1,141 @@
+package flow
+
+import (
+	"fmt"
+
+	"jcr/internal/graph"
+)
+
+// PathFlow is one path of a flow decomposition together with the amount of
+// flow it carries and the sink it serves.
+type PathFlow struct {
+	Path   graph.Path
+	Amount float64
+	Sink   graph.NodeID
+}
+
+// Decompose splits a single-commodity arc flow rooted at src into simple
+// paths, each ending at a sink with positive demand. demand maps sink nodes
+// to the amount of flow terminating there; the arc flow must satisfy
+// conservation with net outflow sum(demand) at src and net inflow demand[t]
+// at each sink t (the flow-decomposition precondition). Cycles in the flow
+// are canceled and dropped, which never increases cost since arc costs are
+// nonnegative. The number of returned paths is at most |E| plus the number
+// of sinks, matching the bound used in the proof of Theorem 4.7.
+func Decompose(g *graph.Graph, arcFlow []float64, src graph.NodeID, demand map[graph.NodeID]float64) ([]PathFlow, error) {
+	if len(arcFlow) != g.NumArcs() {
+		return nil, fmt.Errorf("flow: arc flow has %d entries for %d arcs", len(arcFlow), g.NumArcs())
+	}
+	res := append([]float64(nil), arcFlow...)
+	remaining := make(map[graph.NodeID]float64, len(demand))
+	var total float64
+	for t, d := range demand {
+		if d > eps {
+			remaining[t] = d
+			total += d
+		}
+	}
+	// Tolerances scale with the demand magnitude so that float residue
+	// on large instances (rates of ~1e6 requests/hour) does not read as
+	// missing flow.
+	tol := eps * (1 + total)
+	arcTol := 1e-12 * (1 + total)
+	var out []PathFlow
+	// visitStamp marks nodes on the current walk for cycle detection.
+	stamp := make([]int, g.NumNodes())
+	walkID := 0
+
+	for total > tol {
+		walkID++
+		// Walk from src along positive-flow arcs until reaching a sink
+		// with remaining demand. On revisiting a node, cancel the cycle.
+		var arcs []graph.ArcID
+		v := src
+		stamp[v] = walkID
+		for {
+			if rem, isSink := remaining[v]; isSink && rem > tol && v != src {
+				break
+			}
+			var next graph.ArcID = -1
+			for _, id := range g.Out(v) {
+				if res[id] > arcTol {
+					next = id
+					break
+				}
+			}
+			if next < 0 {
+				if rem, isSink := remaining[v]; isSink && rem > tol {
+					break // src itself is a sink (degenerate but legal)
+				}
+				return nil, fmt.Errorf("flow: decomposition stuck at node %d with %.6g demand left (flow does not satisfy conservation)", v, total)
+			}
+			w := g.Arc(next).To
+			if stamp[w] == walkID {
+				// Found a cycle; cancel it and restart the walk.
+				cycleStart := -1
+				for k, id := range arcs {
+					if g.Arc(id).From == w {
+						cycleStart = k
+						break
+					}
+				}
+				var cycle []graph.ArcID
+				if cycleStart >= 0 {
+					cycle = append(cycle, arcs[cycleStart:]...)
+				}
+				cycle = append(cycle, next)
+				minf := res[cycle[0]]
+				for _, id := range cycle[1:] {
+					if res[id] < minf {
+						minf = res[id]
+					}
+				}
+				for _, id := range cycle {
+					res[id] -= minf
+				}
+				// Restart the walk from scratch.
+				arcs = nil
+				v = src
+				walkID++
+				stamp[v] = walkID
+				continue
+			}
+			arcs = append(arcs, next)
+			v = w
+			stamp[v] = walkID
+		}
+		// v is a sink with remaining demand.
+		amount := remaining[v]
+		for _, id := range arcs {
+			if res[id] < amount {
+				amount = res[id]
+			}
+		}
+		if amount <= arcTol {
+			return nil, fmt.Errorf("flow: zero-width path extracted at sink %d", v)
+		}
+		for _, id := range arcs {
+			res[id] -= amount
+		}
+		remaining[v] -= amount
+		total -= amount
+		out = append(out, PathFlow{
+			Path:   graph.Path{Arcs: arcs},
+			Amount: amount,
+			Sink:   v,
+		})
+	}
+	return out, nil
+}
+
+// Recompose converts path flows back to an arc flow, the inverse of
+// Decompose up to dropped cycles.
+func Recompose(g *graph.Graph, paths []PathFlow) []float64 {
+	arc := make([]float64, g.NumArcs())
+	for _, pf := range paths {
+		for _, id := range pf.Path.Arcs {
+			arc[id] += pf.Amount
+		}
+	}
+	return arc
+}

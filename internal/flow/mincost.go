@@ -1,0 +1,248 @@
+// Package flow implements single-commodity network-flow algorithms on the
+// library's directed graphs: minimum-cost flow via successive shortest
+// paths with Johnson potentials, Edmonds-Karp maximum flow, and the
+// decomposition of arc flows into at most |E| simple paths used throughout
+// the paper (Algorithm 2 line 2, Section 4.3.1).
+package flow
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"jcr/internal/graph"
+)
+
+// ErrInsufficientCapacity reports that the requested flow value exceeds the
+// network's capacity between the endpoints.
+var ErrInsufficientCapacity = errors.New("flow: insufficient capacity")
+
+const eps = 1e-9
+
+// Result is a computed single-commodity flow.
+type Result struct {
+	// Arc[id] is the flow on arc id of the input graph.
+	Arc []float64
+	// Value is the total flow shipped from source to sink.
+	Value float64
+	// Cost is the total routing cost sum_e w_e * Arc[e].
+	Cost float64
+}
+
+// residual network: arcs stored in pairs, forward 2k and backward 2k+1.
+type resNet struct {
+	n    int
+	head []int // head[v]: first residual-arc index of v, -1 if none
+	next []int // next[a]: next residual arc from the same tail
+	to   []int
+	cap  []float64
+	cost []float64
+	orig []graph.ArcID // orig[a]: the input arc this residual arc came from
+}
+
+func newResNet(g *graph.Graph) *resNet {
+	n := g.NumNodes()
+	m := g.NumArcs()
+	r := &resNet{
+		n:    n,
+		head: make([]int, n),
+		next: make([]int, 0, 2*m),
+		to:   make([]int, 0, 2*m),
+		cap:  make([]float64, 0, 2*m),
+		cost: make([]float64, 0, 2*m),
+		orig: make([]graph.ArcID, 0, 2*m),
+	}
+	for v := range r.head {
+		r.head[v] = -1
+	}
+	for id := 0; id < m; id++ {
+		a := g.Arc(id)
+		r.addPair(a.From, a.To, a.Cap, a.Cost, id)
+	}
+	return r
+}
+
+func (r *resNet) addPair(u, v int, capacity, cost float64, orig graph.ArcID) {
+	r.to = append(r.to, v, u)
+	r.cap = append(r.cap, capacity, 0)
+	r.cost = append(r.cost, cost, -cost)
+	r.orig = append(r.orig, orig, orig)
+	f := len(r.to) - 2
+	r.next = append(r.next, r.head[u], r.head[v])
+	r.head[u] = f
+	r.head[v] = f + 1
+}
+
+// dijkstra computes shortest reduced-cost distances from src; parent[v] is
+// the residual arc entering v on the shortest path.
+func (r *resNet) dijkstra(src int, pot []float64) (dist []float64, parent []int) {
+	dist = make([]float64, r.n)
+	parent = make([]int, r.n)
+	done := make([]bool, r.n)
+	for v := range dist {
+		dist[v] = math.Inf(1)
+		parent[v] = -1
+	}
+	dist[src] = 0
+	type hEnt struct {
+		v int
+		d float64
+	}
+	heap := []hEnt{{src, 0}}
+	push := func(e hEnt) {
+		heap = append(heap, e)
+		i := len(heap) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if heap[p].d <= heap[i].d {
+				break
+			}
+			heap[p], heap[i] = heap[i], heap[p]
+			i = p
+		}
+	}
+	pop := func() hEnt {
+		e := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		i := 0
+		for {
+			l, rr := 2*i+1, 2*i+2
+			s := i
+			if l < last && heap[l].d < heap[s].d {
+				s = l
+			}
+			if rr < last && heap[rr].d < heap[s].d {
+				s = rr
+			}
+			if s == i {
+				break
+			}
+			heap[s], heap[i] = heap[i], heap[s]
+			i = s
+		}
+		return e
+	}
+	for len(heap) > 0 {
+		e := pop()
+		if done[e.v] || e.d > dist[e.v] {
+			continue
+		}
+		done[e.v] = true
+		for a := r.head[e.v]; a >= 0; a = r.next[a] {
+			if r.cap[a] <= eps {
+				continue
+			}
+			w := r.to[a]
+			rc := r.cost[a] + pot[e.v] - pot[w]
+			if rc < 0 {
+				// Clamp tiny negatives from float accumulation;
+				// potentials keep true reduced costs nonnegative.
+				rc = 0
+			}
+			if nd := e.d + rc; nd < dist[w]-1e-12 {
+				dist[w] = nd
+				parent[w] = a
+				push(hEnt{w, nd})
+			}
+		}
+	}
+	return dist, parent
+}
+
+// MinCostFlow ships `value` units from src to dst at minimum cost using
+// successive shortest paths. It returns ErrInsufficientCapacity (with the
+// maximal shippable partial flow discarded) if the network cannot carry the
+// requested value. Arc costs must be nonnegative, which graph.AddArc
+// enforces. An infinite value ships as much as possible at minimum cost
+// (min-cost max-flow).
+func MinCostFlow(g *graph.Graph, src, dst graph.NodeID, value float64) (*Result, error) {
+	if src == dst {
+		return &Result{Arc: make([]float64, g.NumArcs())}, nil
+	}
+	r := newResNet(g)
+	pot := make([]float64, r.n)
+	remaining := value
+	// Relative tolerance: float dust at ~1e6 request-rate scale must not
+	// read as unroutable demand.
+	tol := eps
+	if !math.IsInf(value, 1) {
+		tol = eps * (1 + value)
+	}
+	for remaining > tol {
+		dist, parent := r.dijkstra(src, pot)
+		if math.IsInf(dist[dst], 1) {
+			if math.IsInf(value, 1) {
+				break // max flow reached
+			}
+			return nil, fmt.Errorf("%w: %.6g units unroutable from %d to %d",
+				ErrInsufficientCapacity, remaining, src, dst)
+		}
+		for v := 0; v < r.n; v++ {
+			if !math.IsInf(dist[v], 1) {
+				pot[v] += dist[v]
+			}
+		}
+		// Bottleneck along the shortest path.
+		bottleneck := remaining
+		for v := dst; v != src; {
+			a := parent[v]
+			if r.cap[a] < bottleneck {
+				bottleneck = r.cap[a]
+			}
+			v = r.to[a^1]
+		}
+		if math.IsInf(bottleneck, 1) {
+			// Entire path uncapacitated; ship everything left.
+			bottleneck = remaining
+		}
+		for v := dst; v != src; {
+			a := parent[v]
+			r.cap[a] -= bottleneck
+			r.cap[a^1] += bottleneck
+			v = r.to[a^1]
+		}
+		remaining -= bottleneck
+	}
+	return r.extract(g, src), nil
+}
+
+func (r *resNet) extract(g *graph.Graph, src graph.NodeID) *Result {
+	res := &Result{Arc: make([]float64, g.NumArcs())}
+	for k := 0; k < len(r.to); k += 2 {
+		// Flow on the original arc equals the residual capacity of the
+		// backward arc.
+		f := r.cap[k+1]
+		if f < eps {
+			continue
+		}
+		id := r.orig[k]
+		res.Arc[id] += f
+		res.Cost += f * g.Arc(id).Cost
+	}
+	res.Value = NetOutflow(g, res.Arc, src)
+	return res
+}
+
+// NetOutflow computes the net outflow (out minus in) of node v under the
+// arc flow.
+func NetOutflow(g *graph.Graph, arcFlow []float64, v graph.NodeID) float64 {
+	var net float64
+	for _, id := range g.Out(v) {
+		net += arcFlow[id]
+	}
+	for _, id := range g.In(v) {
+		net -= arcFlow[id]
+	}
+	return net
+}
+
+// Cost computes the total routing cost of an arc flow.
+func Cost(g *graph.Graph, arcFlow []float64) float64 {
+	var c float64
+	for id, f := range arcFlow {
+		c += f * g.Arc(id).Cost
+	}
+	return c
+}

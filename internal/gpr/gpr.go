@@ -1,0 +1,241 @@
+// Package gpr implements Gaussian-process regression from scratch,
+// standing in for the scikit-learn GPR the paper uses to predict per-hour
+// request rates (Section 6, Fig. 4): a kernel combining white noise, an
+// exactly periodic component (period 24 h), and a radial-basis function,
+// fitted by maximizing the log marginal likelihood over a small
+// hyperparameter grid with coordinate refinement.
+package gpr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"jcr/internal/mat"
+)
+
+// Kernel is a positive-definite covariance function on scalar inputs.
+type Kernel interface {
+	// Eval returns k(a, b).
+	Eval(a, b float64) float64
+}
+
+// RBF is the squared-exponential kernel sigma^2 exp(-(a-b)^2 / (2 l^2)).
+type RBF struct {
+	Variance    float64
+	LengthScale float64
+}
+
+// Eval implements Kernel.
+func (k RBF) Eval(a, b float64) float64 {
+	d := a - b
+	return k.Variance * math.Exp(-d*d/(2*k.LengthScale*k.LengthScale))
+}
+
+// Periodic is the exp-sine-squared kernel
+// sigma^2 exp(-2 sin^2(pi (a-b)/p) / l^2), capturing the daily cycle.
+type Periodic struct {
+	Variance    float64
+	LengthScale float64
+	Period      float64
+}
+
+// Eval implements Kernel.
+func (k Periodic) Eval(a, b float64) float64 {
+	s := math.Sin(math.Pi * (a - b) / k.Period)
+	return k.Variance * math.Exp(-2*s*s/(k.LengthScale*k.LengthScale))
+}
+
+// Sum adds kernels.
+type Sum []Kernel
+
+// Eval implements Kernel.
+func (ks Sum) Eval(a, b float64) float64 {
+	var v float64
+	for _, k := range ks {
+		v += k.Eval(a, b)
+	}
+	return v
+}
+
+// Model is a fitted Gaussian process.
+type Model struct {
+	kernel Kernel
+	noise  float64 // white-noise variance added on the diagonal
+	xs     []float64
+	mean   float64 // constant prior mean (training average)
+	chol   []float64
+	alpha  []float64 // K^-1 (y - mean)
+	n      int
+	// denorm undoes FitAuto's standardization in PredictSeries.
+	denorm denorm
+	// LogMarginalLikelihood of the training data under the model.
+	LogMarginalLikelihood float64
+}
+
+// ErrNoData reports an empty training set.
+var ErrNoData = errors.New("gpr: no training data")
+
+// Fit conditions a GP with the given kernel and noise variance on the
+// observations (xs, ys).
+func Fit(kernel Kernel, noise float64, xs, ys []float64) (*Model, error) {
+	n := len(xs)
+	if n == 0 {
+		return nil, ErrNoData
+	}
+	if len(ys) != n {
+		return nil, fmt.Errorf("gpr: %d inputs vs %d outputs", n, len(ys))
+	}
+	if noise < 0 {
+		return nil, fmt.Errorf("gpr: negative noise variance %v", noise)
+	}
+	var mean float64
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(n)
+
+	k := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := kernel.Eval(xs[i], xs[j])
+			k[i*n+j] = v
+			k[j*n+i] = v
+		}
+		k[i*n+i] += noise + 1e-8 // jitter for numerical stability
+	}
+	chol, err := mat.Cholesky(k, n)
+	if err != nil {
+		return nil, fmt.Errorf("gpr: %w", err)
+	}
+	resid := make([]float64, n)
+	for i := range resid {
+		resid[i] = ys[i] - mean
+	}
+	alpha := mat.CholeskySolve(chol, n, resid)
+	// log p(y) = -1/2 r' K^-1 r - 1/2 log|K| - n/2 log(2 pi).
+	var quad float64
+	for i := range resid {
+		quad += resid[i] * alpha[i]
+	}
+	lml := -0.5*quad - 0.5*mat.LogDetFromCholesky(chol, n) - 0.5*float64(n)*math.Log(2*math.Pi)
+	return &Model{
+		kernel: kernel, noise: noise,
+		xs:   append([]float64(nil), xs...),
+		mean: mean, chol: chol, alpha: alpha, n: n,
+		LogMarginalLikelihood: lml,
+	}, nil
+}
+
+// Predict returns the posterior mean and variance at x.
+func (m *Model) Predict(x float64) (mean, variance float64) {
+	kstar := make([]float64, m.n)
+	mean = m.mean
+	for i := 0; i < m.n; i++ {
+		kstar[i] = m.kernel.Eval(x, m.xs[i])
+		mean += kstar[i] * m.alpha[i]
+	}
+	v := mat.SolveLower(m.chol, m.n, kstar)
+	variance = m.kernel.Eval(x, x) + m.noise
+	for i := range v {
+		variance -= v[i] * v[i]
+	}
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, variance
+}
+
+// FitAuto fits the paper's kernel family - white noise + periodic(24h) +
+// RBF - by maximizing the log marginal likelihood over a coarse grid of
+// hyperparameters followed by one round of coordinate refinement, a
+// lightweight stand-in for scikit-learn's multi-restart optimizer. The
+// series is internally standardized so the grid is scale-free.
+func FitAuto(ys []float64) (*Model, error) {
+	n := len(ys)
+	if n == 0 {
+		return nil, ErrNoData
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	// Standardize.
+	var mu, sd float64
+	for _, y := range ys {
+		mu += y
+	}
+	mu /= float64(n)
+	for _, y := range ys {
+		sd += (y - mu) * (y - mu)
+	}
+	sd = math.Sqrt(sd / float64(n))
+	if sd == 0 {
+		sd = 1
+	}
+	norm := make([]float64, n)
+	for i, y := range ys {
+		norm[i] = (y - mu) / sd
+	}
+	type hp struct{ noise, pv, pl, rv, rl float64 }
+	best := hp{noise: 0.1, pv: 0.5, pl: 1, rv: 0.5, rl: 50}
+	bestLML := math.Inf(-1)
+	try := func(h hp) {
+		m, err := Fit(Sum{
+			Periodic{Variance: h.pv, LengthScale: h.pl, Period: 24},
+			RBF{Variance: h.rv, LengthScale: h.rl},
+		}, h.noise, xs, norm)
+		if err == nil && m.LogMarginalLikelihood > bestLML {
+			bestLML = m.LogMarginalLikelihood
+			best = h
+		}
+	}
+	for _, noise := range []float64{0.01, 0.1, 0.5} {
+		for _, pv := range []float64{0.2, 1} {
+			for _, rl := range []float64{20, 100} {
+				try(hp{noise: noise, pv: pv, pl: 1, rv: 0.5, rl: rl})
+			}
+		}
+	}
+	// One coordinate-refinement sweep around the grid winner.
+	for _, f := range []float64{0.5, 2} {
+		try(hp{best.noise * f, best.pv, best.pl, best.rv, best.rl})
+		try(hp{best.noise, best.pv * f, best.pl, best.rv, best.rl})
+		try(hp{best.noise, best.pv, best.pl * f, best.rv, best.rl})
+		try(hp{best.noise, best.pv, best.pl, best.rv * f, best.rl})
+		try(hp{best.noise, best.pv, best.pl, best.rv, best.rl * f})
+	}
+	m, err := Fit(Sum{
+		Periodic{Variance: best.pv, LengthScale: best.pl, Period: 24},
+		RBF{Variance: best.rv, LengthScale: best.rl},
+	}, best.noise, xs, norm)
+	if err != nil {
+		return nil, err
+	}
+	m.denorm = denorm{mu: mu, sd: sd}
+	return m, nil
+}
+
+type denorm struct {
+	mu, sd float64
+}
+
+// PredictSeries forecasts horizon hours past the end of the training
+// series fitted by FitAuto, undoing its standardization and clamping at
+// zero (view counts cannot be negative).
+func (m *Model) PredictSeries(horizon int) []float64 {
+	out := make([]float64, horizon)
+	sd, mu := m.denorm.sd, m.denorm.mu
+	if sd == 0 {
+		sd = 1
+	}
+	for h := 0; h < horizon; h++ {
+		mean, _ := m.Predict(float64(m.n + h))
+		v := mean*sd + mu
+		if v < 0 {
+			v = 0
+		}
+		out[h] = v
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package gpr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKernels(t *testing.T) {
+	rbf := RBF{Variance: 2, LengthScale: 3}
+	if got := rbf.Eval(1, 1); math.Abs(got-2) > 1e-12 {
+		t.Errorf("RBF(x,x) = %v, want variance 2", got)
+	}
+	if rbf.Eval(0, 10) >= rbf.Eval(0, 1) {
+		t.Error("RBF should decay with distance")
+	}
+	per := Periodic{Variance: 1, LengthScale: 1, Period: 24}
+	if math.Abs(per.Eval(0, 24)-per.Eval(0, 0)) > 1e-12 {
+		t.Error("periodic kernel should repeat every period")
+	}
+	sum := Sum{rbf, per}
+	if math.Abs(sum.Eval(1, 2)-(rbf.Eval(1, 2)+per.Eval(1, 2))) > 1e-12 {
+		t.Error("Sum kernel mismatch")
+	}
+}
+
+func TestFitInterpolatesNoiseFree(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{1, 3, 2, 5, 4}
+	m, err := Fit(RBF{Variance: 1, LengthScale: 1}, 0, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		mean, variance := m.Predict(xs[i])
+		if math.Abs(mean-ys[i]) > 1e-3 {
+			t.Errorf("Predict(%v) = %v, want %v", xs[i], mean, ys[i])
+		}
+		if variance > 1e-3 {
+			t.Errorf("variance at training point %v = %v, want ~0", xs[i], variance)
+		}
+	}
+	// Far from data the posterior reverts toward the prior.
+	_, farVar := m.Predict(100)
+	if farVar < 0.5 {
+		t.Errorf("variance far away = %v, want close to prior 1", farVar)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(RBF{1, 1}, 0, nil, nil); err == nil {
+		t.Error("empty data accepted")
+	}
+	if _, err := Fit(RBF{1, 1}, 0, []float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Fit(RBF{1, 1}, -1, []float64{1}, []float64{1}); err == nil {
+		t.Error("negative noise accepted")
+	}
+}
+
+func TestNoiseSmoothes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 40)
+	ys := make([]float64, 40)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = math.Sin(float64(i)/3) + 0.3*rng.NormFloat64()
+	}
+	noisy, err := Fit(RBF{Variance: 1, LengthScale: 3}, 0.09, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With noise, the posterior mean should not chase every observation.
+	var res float64
+	for i := range xs {
+		mean, _ := noisy.Predict(xs[i])
+		res += math.Abs(mean - math.Sin(float64(i)/3))
+	}
+	res /= float64(len(xs))
+	if res > 0.25 {
+		t.Errorf("mean absolute error to the true signal = %v, want < 0.25", res)
+	}
+}
+
+func TestFitAutoPredictsPeriodicSeries(t *testing.T) {
+	// A daily-periodic series with noise: the forecast for the next
+	// hours should beat a naive last-value predictor.
+	rng := rand.New(rand.NewSource(5))
+	hours := 24 * 8
+	ys := make([]float64, hours)
+	truth := func(h int) float64 {
+		return 100 + 40*math.Sin(2*math.Pi*float64(h)/24)
+	}
+	for h := range ys {
+		ys[h] = truth(h) + 5*rng.NormFloat64()
+	}
+	m, err := FitAuto(ys[:hours-6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := m.PredictSeries(6)
+	var gpErr, naiveErr float64
+	last := ys[hours-7]
+	for h := 0; h < 6; h++ {
+		gpErr += math.Abs(pred[h] - truth(hours-6+h))
+		naiveErr += math.Abs(last - truth(hours-6+h))
+	}
+	if gpErr >= naiveErr {
+		t.Errorf("GPR error %v not better than naive %v", gpErr, naiveErr)
+	}
+	for _, p := range pred {
+		if p < 0 {
+			t.Error("negative prediction")
+		}
+	}
+}
+
+func TestFitAutoConstantSeries(t *testing.T) {
+	ys := make([]float64, 48)
+	for i := range ys {
+		ys[i] = 7
+	}
+	m, err := FitAuto(ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := m.PredictSeries(3)
+	for _, p := range pred {
+		if math.Abs(p-7) > 1 {
+			t.Errorf("constant series predicted %v, want ~7", p)
+		}
+	}
+	if _, err := FitAuto(nil); err == nil {
+		t.Error("empty series accepted")
+	}
+}

@@ -1,0 +1,201 @@
+// Package graph provides the directed-graph substrate used throughout the
+// joint caching and routing library: weighted directed multigraphs,
+// shortest-path algorithms, k-shortest paths, and the auxiliary
+// (virtual-source) constructions from the paper.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NodeID identifies a node. Nodes are dense integers in [0, NumNodes).
+type NodeID = int
+
+// ArcID identifies an arc (directed edge). Arcs are dense integers in
+// [0, NumArcs). Parallel arcs are permitted.
+type ArcID = int
+
+// Arc is a directed edge with a routing cost and a capacity.
+type Arc struct {
+	From NodeID
+	To   NodeID
+	// Cost is the routing cost w_uv of transferring one content item
+	// (or one bit, in the heterogeneous-size model) over the arc.
+	Cost float64
+	// Cap is the arc capacity c_uv in items (or bits) per unit time.
+	// Use Unlimited for an uncapacitated arc.
+	Cap float64
+}
+
+// Unlimited marks an arc with no capacity constraint.
+var Unlimited = math.Inf(1)
+
+// Graph is a directed multigraph with dense node and arc identifiers.
+// The zero value is an empty graph ready for use.
+type Graph struct {
+	arcs []Arc
+	// out[v] lists the arc IDs leaving v; in_[v] the arc IDs entering v.
+	out [][]ArcID
+	in  [][]ArcID
+}
+
+// New returns a graph with n nodes and no arcs.
+func New(n int) *Graph {
+	return &Graph{
+		out: make([][]ArcID, n),
+		in:  make([][]ArcID, n),
+	}
+}
+
+// NumNodes reports the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.out) }
+
+// NumArcs reports the number of arcs.
+func (g *Graph) NumArcs() int { return len(g.arcs) }
+
+// AddNode appends a new node and returns its ID.
+func (g *Graph) AddNode() NodeID {
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return len(g.out) - 1
+}
+
+// AddArc appends a directed arc and returns its ID. It panics if an
+// endpoint is out of range or the cost is negative, which indicate
+// programming errors rather than runtime conditions.
+func (g *Graph) AddArc(from, to NodeID, cost, capacity float64) ArcID {
+	if from < 0 || from >= len(g.out) || to < 0 || to >= len(g.out) {
+		panic(fmt.Sprintf("graph: arc endpoint out of range: (%d,%d) with %d nodes", from, to, len(g.out)))
+	}
+	if cost < 0 {
+		panic(fmt.Sprintf("graph: negative arc cost %v", cost))
+	}
+	id := len(g.arcs)
+	g.arcs = append(g.arcs, Arc{From: from, To: to, Cost: cost, Cap: capacity})
+	g.out[from] = append(g.out[from], id)
+	g.in[to] = append(g.in[to], id)
+	return id
+}
+
+// AddEdge adds a pair of opposite arcs with the same cost and capacity and
+// returns their IDs. It models an undirected link as two directed links,
+// the convention used when loading ISP topologies.
+func (g *Graph) AddEdge(u, v NodeID, cost, capacity float64) (uv, vu ArcID) {
+	uv = g.AddArc(u, v, cost, capacity)
+	vu = g.AddArc(v, u, cost, capacity)
+	return uv, vu
+}
+
+// Arc returns the arc with the given ID.
+func (g *Graph) Arc(id ArcID) Arc { return g.arcs[id] }
+
+// Arcs returns a copy of the arc slice.
+func (g *Graph) Arcs() []Arc {
+	out := make([]Arc, len(g.arcs))
+	copy(out, g.arcs)
+	return out
+}
+
+// SetArcCap overrides the capacity of an arc.
+func (g *Graph) SetArcCap(id ArcID, capacity float64) { g.arcs[id].Cap = capacity }
+
+// SetArcCost overrides the cost of an arc.
+func (g *Graph) SetArcCost(id ArcID, cost float64) {
+	if cost < 0 {
+		panic(fmt.Sprintf("graph: negative arc cost %v", cost))
+	}
+	g.arcs[id].Cost = cost
+}
+
+// Out returns the IDs of arcs leaving v. The returned slice must not be
+// modified.
+func (g *Graph) Out(v NodeID) []ArcID { return g.out[v] }
+
+// In returns the IDs of arcs entering v. The returned slice must not be
+// modified.
+func (g *Graph) In(v NodeID) []ArcID { return g.in[v] }
+
+// OutDegree reports the number of arcs leaving v.
+func (g *Graph) OutDegree(v NodeID) int { return len(g.out[v]) }
+
+// InDegree reports the number of arcs entering v.
+func (g *Graph) InDegree(v NodeID) int { return len(g.in[v]) }
+
+// UndirectedDegree reports the number of distinct neighbors of v across
+// both arc directions, the degree notion the paper uses to designate
+// origin servers and edge nodes.
+func (g *Graph) UndirectedDegree(v NodeID) int {
+	seen := make(map[NodeID]struct{})
+	for _, id := range g.out[v] {
+		seen[g.arcs[id].To] = struct{}{}
+	}
+	for _, id := range g.in[v] {
+		seen[g.arcs[id].From] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.NumNodes())
+	c.arcs = make([]Arc, len(g.arcs))
+	copy(c.arcs, g.arcs)
+	for v := range g.out {
+		c.out[v] = append([]ArcID(nil), g.out[v]...)
+		c.in[v] = append([]ArcID(nil), g.in[v]...)
+	}
+	return c
+}
+
+// Connected reports whether every node is reachable from node 0 when arc
+// direction is ignored.
+func (g *Graph) Connected() bool {
+	n := g.NumNodes()
+	if n == 0 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []NodeID{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, id := range g.out[v] {
+			if w := g.arcs[id].To; !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+		for _, id := range g.in[v] {
+			if w := g.arcs[id].From; !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == n
+}
+
+// NodesByDegree returns all node IDs sorted by ascending undirected degree,
+// breaking ties by node ID. The paper designates the lowest-degree node as
+// the origin server and the next lowest-degree nodes as edge nodes.
+func (g *Graph) NodesByDegree() []NodeID {
+	nodes := make([]NodeID, g.NumNodes())
+	deg := make([]int, g.NumNodes())
+	for v := range nodes {
+		nodes[v] = v
+		deg[v] = g.UndirectedDegree(v)
+	}
+	sort.SliceStable(nodes, func(a, b int) bool {
+		if deg[nodes[a]] != deg[nodes[b]] {
+			return deg[nodes[a]] < deg[nodes[b]]
+		}
+		return nodes[a] < nodes[b]
+	})
+	return nodes
+}

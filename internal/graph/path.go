@@ -1,0 +1,230 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Path is a sequence of arc IDs forming a walk in a graph.
+type Path struct {
+	Arcs []ArcID
+}
+
+// Nodes returns the node sequence visited by the path in g, starting at the
+// path's source. An empty path returns nil.
+func (p Path) Nodes(g *Graph) []NodeID {
+	if len(p.Arcs) == 0 {
+		return nil
+	}
+	nodes := make([]NodeID, 0, len(p.Arcs)+1)
+	nodes = append(nodes, g.Arc(p.Arcs[0]).From)
+	for _, id := range p.Arcs {
+		nodes = append(nodes, g.Arc(id).To)
+	}
+	return nodes
+}
+
+// Cost returns the total routing cost of the path in g.
+func (p Path) Cost(g *Graph) float64 {
+	var c float64
+	for _, id := range p.Arcs {
+		c += g.Arc(id).Cost
+	}
+	return c
+}
+
+// Len reports the number of arcs on the path.
+func (p Path) Len() int { return len(p.Arcs) }
+
+// Source returns the first node of the path, or -1 if the path is empty.
+func (p Path) Source(g *Graph) NodeID {
+	if len(p.Arcs) == 0 {
+		return -1
+	}
+	return g.Arc(p.Arcs[0]).From
+}
+
+// Dest returns the last node of the path, or -1 if the path is empty.
+func (p Path) Dest(g *Graph) NodeID {
+	if len(p.Arcs) == 0 {
+		return -1
+	}
+	return g.Arc(p.Arcs[len(p.Arcs)-1]).To
+}
+
+// Validate checks that the path is a contiguous cycle-free walk from src to
+// dst in g.
+func (p Path) Validate(g *Graph, src, dst NodeID) error {
+	if len(p.Arcs) == 0 {
+		if src != dst {
+			return fmt.Errorf("graph: empty path but src %d != dst %d", src, dst)
+		}
+		return nil
+	}
+	nodes := p.Nodes(g)
+	if nodes[0] != src {
+		return fmt.Errorf("graph: path starts at %d, want %d", nodes[0], src)
+	}
+	if nodes[len(nodes)-1] != dst {
+		return fmt.Errorf("graph: path ends at %d, want %d", nodes[len(nodes)-1], dst)
+	}
+	for k := 1; k < len(p.Arcs); k++ {
+		if g.Arc(p.Arcs[k]).From != g.Arc(p.Arcs[k-1]).To {
+			return fmt.Errorf("graph: path not contiguous at hop %d", k)
+		}
+	}
+	seen := make(map[NodeID]struct{}, len(nodes))
+	for _, v := range nodes {
+		if _, dup := seen[v]; dup {
+			return fmt.Errorf("graph: path revisits node %d", v)
+		}
+		seen[v] = struct{}{}
+	}
+	return nil
+}
+
+// arcHeap is a binary min-heap of (node, dist) entries for Dijkstra.
+type distHeap struct {
+	node []NodeID
+	dist []float64
+}
+
+func (h *distHeap) push(v NodeID, d float64) {
+	h.node = append(h.node, v)
+	h.dist = append(h.dist, d)
+	i := len(h.node) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.dist[parent] <= h.dist[i] {
+			break
+		}
+		h.node[parent], h.node[i] = h.node[i], h.node[parent]
+		h.dist[parent], h.dist[i] = h.dist[i], h.dist[parent]
+		i = parent
+	}
+}
+
+func (h *distHeap) pop() (NodeID, float64) {
+	v, d := h.node[0], h.dist[0]
+	last := len(h.node) - 1
+	h.node[0], h.dist[0] = h.node[last], h.dist[last]
+	h.node = h.node[:last]
+	h.dist = h.dist[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h.dist[l] < h.dist[small] {
+			small = l
+		}
+		if r < last && h.dist[r] < h.dist[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.node[small], h.node[i] = h.node[i], h.node[small]
+		h.dist[small], h.dist[i] = h.dist[i], h.dist[small]
+		i = small
+	}
+	return v, d
+}
+
+func (h *distHeap) empty() bool { return len(h.node) == 0 }
+
+// ShortestTree holds the result of a single-source shortest-path run.
+type ShortestTree struct {
+	Source NodeID
+	// Dist[v] is the least cost from Source to v (math.Inf(1) if
+	// unreachable).
+	Dist []float64
+	// ParentArc[v] is the arc entering v on a least-cost path from
+	// Source, or -1 for the source and unreachable nodes.
+	ParentArc []ArcID
+}
+
+// PathTo reconstructs a least-cost path from the tree's source to v. The
+// boolean result is false if v is unreachable.
+func (t ShortestTree) PathTo(g *Graph, v NodeID) (Path, bool) {
+	if math.IsInf(t.Dist[v], 1) {
+		return Path{}, false
+	}
+	var rev []ArcID
+	for v != t.Source {
+		id := t.ParentArc[v]
+		rev = append(rev, id)
+		v = g.Arc(id).From
+	}
+	arcs := make([]ArcID, len(rev))
+	for i := range rev {
+		arcs[i] = rev[len(rev)-1-i]
+	}
+	return Path{Arcs: arcs}, true
+}
+
+// Dijkstra computes least-cost paths from src using arc costs. Capacities
+// are ignored. The skipArc predicate, if non-nil, excludes arcs for which it
+// returns true; the skipNode predicate likewise excludes nodes (other than
+// src). Either may be nil.
+func Dijkstra(g *Graph, src NodeID, skipArc func(ArcID) bool, skipNode func(NodeID) bool) ShortestTree {
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	parent := make([]ArcID, n)
+	done := make([]bool, n)
+	for v := range dist {
+		dist[v] = math.Inf(1)
+		parent[v] = -1
+	}
+	dist[src] = 0
+	var h distHeap
+	h.push(src, 0)
+	for !h.empty() {
+		v, d := h.pop()
+		if done[v] || d > dist[v] {
+			continue
+		}
+		done[v] = true
+		for _, id := range g.Out(v) {
+			if skipArc != nil && skipArc(id) {
+				continue
+			}
+			a := g.Arc(id)
+			if skipNode != nil && a.To != src && skipNode(a.To) {
+				continue
+			}
+			if nd := d + a.Cost; nd < dist[a.To] {
+				dist[a.To] = nd
+				parent[a.To] = id
+				h.push(a.To, nd)
+			}
+		}
+	}
+	return ShortestTree{Source: src, Dist: dist, ParentArc: parent}
+}
+
+// AllPairs computes the pairwise least costs w_{v->s} for all ordered node
+// pairs by running Dijkstra from every node. Result[v][s] is the least cost
+// from v to s.
+func AllPairs(g *Graph) [][]float64 {
+	n := g.NumNodes()
+	dist := make([][]float64, n)
+	for v := 0; v < n; v++ {
+		dist[v] = Dijkstra(g, v, nil, nil).Dist
+	}
+	return dist
+}
+
+// MaxFinite returns the maximum finite value in a pairwise distance matrix,
+// i.e. the w_max bound used by Algorithm 1. It returns 0 for an empty
+// matrix.
+func MaxFinite(dist [][]float64) float64 {
+	var m float64
+	for _, row := range dist {
+		for _, d := range row {
+			if !math.IsInf(d, 1) && d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,102 @@
+package graph
+
+import "sort"
+
+// KShortestPaths returns up to k cycle-free least-cost paths from src to dst
+// in ascending cost order, using Yen's algorithm. It returns fewer than k
+// paths if the graph does not contain that many distinct simple paths. The
+// baseline of Ioannidis & Yeh [3] builds its candidate path set this way.
+func KShortestPaths(g *Graph, src, dst NodeID, k int) []Path {
+	if k <= 0 {
+		return nil
+	}
+	first, ok := Dijkstra(g, src, nil, nil).PathTo(g, dst)
+	if !ok {
+		return nil
+	}
+	if src == dst {
+		return []Path{{}}
+	}
+	accepted := []Path{first}
+	// candidates holds spur paths not yet accepted, deduplicated by
+	// arc-sequence signature.
+	type cand struct {
+		path Path
+		cost float64
+	}
+	var candidates []cand
+	seen := map[string]struct{}{pathKey(first): {}}
+
+	for len(accepted) < k {
+		prev := accepted[len(accepted)-1]
+		prevNodes := prev.Nodes(g)
+		// Spur from each node of the previously accepted path.
+		for i := 0; i < len(prevNodes)-1; i++ {
+			spurNode := prevNodes[i]
+			rootArcs := prev.Arcs[:i]
+
+			// Arcs removed: for every accepted path sharing the
+			// root, remove the arc it takes out of the spur node.
+			banArc := make(map[ArcID]struct{})
+			for _, p := range accepted {
+				if len(p.Arcs) > i && sameArcs(p.Arcs[:i], rootArcs) {
+					banArc[p.Arcs[i]] = struct{}{}
+				}
+			}
+			// Nodes removed: all root nodes before the spur node.
+			banNode := make(map[NodeID]struct{})
+			for _, v := range prevNodes[:i] {
+				banNode[v] = struct{}{}
+			}
+
+			tree := Dijkstra(g, spurNode,
+				func(id ArcID) bool {
+					_, banned := banArc[id]
+					return banned
+				},
+				func(v NodeID) bool {
+					_, banned := banNode[v]
+					return banned
+				})
+			spur, ok := tree.PathTo(g, dst)
+			if !ok {
+				continue
+			}
+			total := Path{Arcs: append(append([]ArcID(nil), rootArcs...), spur.Arcs...)}
+			key := pathKey(total)
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			candidates = append(candidates, cand{path: total, cost: total.Cost(g)})
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.SliceStable(candidates, func(a, b int) bool { return candidates[a].cost < candidates[b].cost })
+		accepted = append(accepted, candidates[0].path)
+		candidates = candidates[1:]
+	}
+	return accepted
+}
+
+func pathKey(p Path) string {
+	// Compact byte signature of the arc sequence.
+	b := make([]byte, 0, 4*len(p.Arcs))
+	for _, id := range p.Arcs {
+		b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return string(b)
+}
+
+func sameArcs(a, b []ArcID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,188 @@
+// Package lp implements a dense two-phase primal simplex solver with
+// bounded variables. It is the numerical substrate for every linear program
+// in the joint caching and routing library: the auxiliary placement LP
+// (paper Eq. (7)), the per-path placement LP (Eq. (15)), the splittable
+// multicommodity routing LPs (MMSFP), and the fully fractional FC-FR case.
+//
+// The solver handles problems of the form
+//
+//	min / max  c'x
+//	s.t.       A_i x  {<=, =, >=}  b_i     for each constraint i
+//	           l_j <= x_j <= u_j           for each variable j
+//
+// with finite lower bounds (the library's LPs are all of this shape).
+// Upper bounds may be +Inf. Anti-cycling is guaranteed by switching to
+// Bland's rule after a run of degenerate pivots.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense selects minimization or maximization of the objective.
+type Sense int
+
+// Objective senses.
+const (
+	Minimize Sense = iota + 1
+	Maximize
+)
+
+// Op is a constraint comparison operator.
+type Op int
+
+// Constraint operators.
+const (
+	LE Op = iota + 1 // A_i x <= b_i
+	GE               // A_i x >= b_i
+	EQ               // A_i x  = b_i
+)
+
+// Solver failure modes.
+var (
+	// ErrInfeasible reports that no point satisfies all constraints.
+	ErrInfeasible = errors.New("lp: infeasible")
+	// ErrUnbounded reports that the objective is unbounded over the
+	// feasible region.
+	ErrUnbounded = errors.New("lp: unbounded")
+	// ErrIterationLimit reports that the pivot limit was exhausted,
+	// which indicates numerical trouble on the instance.
+	ErrIterationLimit = errors.New("lp: iteration limit exceeded")
+)
+
+type constraint struct {
+	idx []int
+	val []float64
+	op  Op
+	rhs float64
+}
+
+// Problem is a linear program under construction. Create one with
+// NewProblem, then set the objective, bounds, and constraints.
+type Problem struct {
+	nvars int
+	obj   []float64
+	sense Sense
+	lower []float64
+	upper []float64
+	cons  []constraint
+}
+
+// NewProblem returns a problem with n variables, default bounds [0, +Inf),
+// zero objective, and minimization sense.
+func NewProblem(n int) *Problem {
+	p := &Problem{
+		nvars: n,
+		obj:   make([]float64, n),
+		sense: Minimize,
+		lower: make([]float64, n),
+		upper: make([]float64, n),
+	}
+	for j := range p.upper {
+		p.upper[j] = math.Inf(1)
+	}
+	return p
+}
+
+// NumVars reports the number of variables.
+func (p *Problem) NumVars() int { return p.nvars }
+
+// NumConstraints reports the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// SetObjectiveCoeff sets the objective coefficient of variable j.
+func (p *Problem) SetObjectiveCoeff(j int, c float64) { p.obj[j] = c }
+
+// SetSense selects minimization or maximization.
+func (p *Problem) SetSense(s Sense) { p.sense = s }
+
+// SetBounds sets l <= x_j <= u. The lower bound must be finite and not
+// exceed the upper bound; violations panic as they are programming errors.
+func (p *Problem) SetBounds(j int, lo, hi float64) {
+	if math.IsInf(lo, -1) || math.IsNaN(lo) || math.IsNaN(hi) {
+		panic(fmt.Sprintf("lp: lower bound of x_%d must be finite, got [%v, %v]", j, lo, hi))
+	}
+	if lo > hi {
+		panic(fmt.Sprintf("lp: empty bound interval [%v, %v] for x_%d", lo, hi, j))
+	}
+	p.lower[j] = lo
+	p.upper[j] = hi
+}
+
+// AddConstraint adds the sparse constraint sum_k val[k]*x[idx[k]] (op) rhs.
+// The idx/val slices are copied. Repeated indices are summed.
+func (p *Problem) AddConstraint(idx []int, val []float64, op Op, rhs float64) {
+	if len(idx) != len(val) {
+		panic("lp: AddConstraint index/value length mismatch")
+	}
+	for _, j := range idx {
+		if j < 0 || j >= p.nvars {
+			panic(fmt.Sprintf("lp: constraint references variable %d of %d", j, p.nvars))
+		}
+	}
+	p.cons = append(p.cons, constraint{
+		idx: append([]int(nil), idx...),
+		val: append([]float64(nil), val...),
+		op:  op,
+		rhs: rhs,
+	})
+}
+
+// AddDenseConstraint adds the constraint row'x (op) rhs with a dense
+// coefficient row of length NumVars.
+func (p *Problem) AddDenseConstraint(row []float64, op Op, rhs float64) {
+	if len(row) != p.nvars {
+		panic("lp: dense constraint row has wrong length")
+	}
+	var idx []int
+	var val []float64
+	for j, v := range row {
+		if v != 0 {
+			idx = append(idx, j)
+			val = append(val, v)
+		}
+	}
+	p.cons = append(p.cons, constraint{idx: idx, val: val, op: op, rhs: rhs})
+}
+
+// Solution is the result of a successful solve.
+type Solution struct {
+	// X holds the optimal variable values.
+	X []float64
+	// Objective is the optimal objective value in the problem's sense.
+	Objective float64
+	// Pivots counts simplex pivots across both phases.
+	Pivots int
+}
+
+// Value evaluates the problem's objective at x.
+func (p *Problem) Value(x []float64) float64 {
+	var v float64
+	for j, c := range p.obj {
+		v += c * x[j]
+	}
+	return v
+}
+
+const (
+	pivotTol = 1e-9
+	feasTol  = 1e-7
+	costTol  = 1e-9
+	degenRun = 64 // consecutive degenerate pivots before Bland's rule
+)
+
+// Solve runs the two-phase bounded-variable simplex method and returns an
+// optimal solution, or ErrInfeasible / ErrUnbounded / ErrIterationLimit.
+func (p *Problem) Solve() (*Solution, error) {
+	t, err := newTableau(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.solve(); err != nil {
+		return nil, err
+	}
+	x := t.extract()
+	return &Solution{X: x, Objective: p.Value(x), Pivots: t.pivots}, nil
+}

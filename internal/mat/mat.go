@@ -1,0 +1,80 @@
+// Package mat provides the small dense linear algebra needed by the
+// Gaussian-process regression substrate: symmetric positive-definite
+// Cholesky factorization and triangular solves.
+package mat
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPositiveDefinite reports a failed Cholesky factorization.
+var ErrNotPositiveDefinite = errors.New("mat: matrix is not positive definite")
+
+// Cholesky computes the lower-triangular L with L L' = A for a symmetric
+// positive-definite matrix A given in row-major order (n x n). A is not
+// modified.
+func Cholesky(a []float64, n int) ([]float64, error) {
+	if len(a) != n*n {
+		return nil, errors.New("mat: dimension mismatch")
+	}
+	l := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i*n+j]
+			for k := 0; k < j; k++ {
+				sum -= l[i*n+k] * l[j*n+k]
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, ErrNotPositiveDefinite
+				}
+				l[i*n+i] = math.Sqrt(sum)
+			} else {
+				l[i*n+j] = sum / l[j*n+j]
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveLower solves L y = b for lower-triangular L (forward substitution).
+func SolveLower(l []float64, n int, b []float64) []float64 {
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i*n+k] * y[k]
+		}
+		y[i] = sum / l[i*n+i]
+	}
+	return y
+}
+
+// SolveUpperT solves L' x = y for the transpose of lower-triangular L
+// (backward substitution).
+func SolveUpperT(l []float64, n int, y []float64) []float64 {
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l[k*n+i] * x[k]
+		}
+		x[i] = sum / l[i*n+i]
+	}
+	return x
+}
+
+// CholeskySolve solves A x = b given A's Cholesky factor L.
+func CholeskySolve(l []float64, n int, b []float64) []float64 {
+	return SolveUpperT(l, n, SolveLower(l, n, b))
+}
+
+// LogDetFromCholesky returns log det A = 2 * sum_i log L_ii.
+func LogDetFromCholesky(l []float64, n int) float64 {
+	var s float64
+	for i := 0; i < n; i++ {
+		s += math.Log(l[i*n+i])
+	}
+	return 2 * s
+}

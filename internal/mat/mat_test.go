@@ -1,0 +1,80 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCholeskyKnown(t *testing.T) {
+	// A = [[4,2],[2,3]] -> L = [[2,0],[1,sqrt(2)]].
+	a := []float64{4, 2, 2, 3}
+	l, err := Cholesky(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 0, 1, math.Sqrt(2)}
+	for i := range want {
+		if math.Abs(l[i]-want[i]) > 1e-12 {
+			t.Errorf("L[%d] = %v, want %v", i, l[i], want[i])
+		}
+	}
+	if det := LogDetFromCholesky(l, 2); math.Abs(det-math.Log(8)) > 1e-12 {
+		t.Errorf("logdet = %v, want log(8)", det)
+	}
+}
+
+func TestCholeskyRejects(t *testing.T) {
+	if _, err := Cholesky([]float64{-1}, 1); err == nil {
+		t.Error("negative 1x1 accepted")
+	}
+	if _, err := Cholesky([]float64{1, 2, 2, 1}, 2); err == nil {
+		t.Error("indefinite matrix accepted")
+	}
+	if _, err := Cholesky([]float64{1, 2}, 2); err == nil {
+		t.Error("wrong size accepted")
+	}
+}
+
+func TestCholeskySolveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(12)
+		// Random SPD: A = B B' + n I.
+		b := make([]float64, n*n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		a := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for k := 0; k < n; k++ {
+					s += b[i*n+k] * b[j*n+k]
+				}
+				a[i*n+j] = s
+			}
+			a[i*n+i] += float64(n)
+		}
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		rhs := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				rhs[i] += a[i*n+j] * xTrue[j]
+			}
+		}
+		l, err := Cholesky(a, n)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		x := CholeskySolve(l, n, rhs)
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-8 {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, x[i], xTrue[i])
+			}
+		}
+	}
+}

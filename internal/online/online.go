@@ -1,0 +1,173 @@
+// Package online simulates the paper's operational setting (Section 6):
+// a network provider adjusts caching and routing decisions on an hourly
+// basis from predicted demand, then serves whatever demand actually
+// arrives. It walks a view trace hour by hour, re-optimizes with a
+// pluggable policy, and records per-hour routing cost, congestion, and
+// placement churn (items moved between consecutive hours - the operational
+// cost of re-optimizing that a one-shot evaluation cannot see).
+package online
+
+import (
+	"fmt"
+	"math"
+
+	"jcr/internal/graph"
+	"jcr/internal/placement"
+)
+
+// Decision is one hour's chosen placement and serving paths.
+type Decision struct {
+	Placement *placement.Placement
+	// Paths serve the decision demand; the simulator rescales them to
+	// the realized demand (requests the decision did not anticipate fall
+	// back to route-to-nearest-replica).
+	Paths []placement.ServingPath
+}
+
+// Policy decides one hour's placement and routing from the decision spec.
+type Policy interface {
+	// Name labels the policy in results.
+	Name() string
+	// Decide computes the hour's decision; dist is the all-pairs
+	// least-cost matrix of spec.G.
+	Decide(spec *placement.Spec, dist [][]float64) (*Decision, error)
+}
+
+// HourMetrics records one simulated hour.
+type HourMetrics struct {
+	Hour       int
+	Cost       float64
+	Congestion float64
+	// Churn counts (node, item) cache entries that changed versus the
+	// previous hour's placement.
+	Churn int
+}
+
+// Series is a policy's full simulation record.
+type Series struct {
+	Policy string
+	Hours  []HourMetrics
+}
+
+// TotalCost sums the per-hour costs.
+func (s *Series) TotalCost() float64 {
+	var t float64
+	for _, h := range s.Hours {
+		t += h.Cost
+	}
+	return t
+}
+
+// MeanCongestion averages the per-hour congestion.
+func (s *Series) MeanCongestion() float64 {
+	if len(s.Hours) == 0 {
+		return 0
+	}
+	var t float64
+	for _, h := range s.Hours {
+		t += h.Congestion
+	}
+	return t / float64(len(s.Hours))
+}
+
+// TotalChurn sums placement changes across hours.
+func (s *Series) TotalChurn() int {
+	t := 0
+	for _, h := range s.Hours {
+		t += h.Churn
+	}
+	return t
+}
+
+// HourInput is one hour of workload: the demand the policy sees and the
+// demand that actually arrives, over a shared network.
+type HourInput struct {
+	Hour     int
+	Decision *placement.Spec
+	Truth    *placement.Spec
+	Dist     [][]float64
+}
+
+// Simulate runs the policy over the given hours.
+func Simulate(policy Policy, hours []HourInput) (*Series, error) {
+	out := &Series{Policy: policy.Name()}
+	var prev *placement.Placement
+	for _, h := range hours {
+		dec, err := policy.Decide(h.Decision, h.Dist)
+		if err != nil {
+			return nil, fmt.Errorf("online: %s at hour %d: %w", policy.Name(), h.Hour, err)
+		}
+		cost, cong, err := evaluateOnTruth(h, dec)
+		if err != nil {
+			return nil, fmt.Errorf("online: %s at hour %d: %w", policy.Name(), h.Hour, err)
+		}
+		out.Hours = append(out.Hours, HourMetrics{
+			Hour:       h.Hour,
+			Cost:       cost,
+			Congestion: cong,
+			Churn:      churn(prev, dec.Placement),
+		})
+		prev = dec.Placement
+	}
+	return out, nil
+}
+
+// churn counts differing cache entries; the first hour has zero churn.
+func churn(prev, cur *placement.Placement) int {
+	if prev == nil {
+		return 0
+	}
+	n := 0
+	for v := range cur.Stores {
+		for i := range cur.Stores[v] {
+			if prev.Stores[v][i] != cur.Stores[v][i] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// evaluateOnTruth rescales the decision's serving paths to the realized
+// demand, serving unanticipated requests from their nearest replica.
+func evaluateOnTruth(h HourInput, dec *Decision) (cost, cong float64, err error) {
+	truth := h.Truth
+	byReq := map[placement.Request][]placement.ServingPath{}
+	decTotal := map[placement.Request]float64{}
+	for _, sp := range dec.Paths {
+		byReq[sp.Req] = append(byReq[sp.Req], sp)
+		decTotal[sp.Req] += sp.Rate
+	}
+	var paths []placement.ServingPath
+	trees := map[graph.NodeID]graph.ShortestTree{}
+	for _, rq := range truth.Requests() {
+		lam := truth.Rates[rq.Item][rq.Node]
+		if tot := decTotal[rq]; tot > 1e-12 {
+			for _, sp := range byReq[rq] {
+				paths = append(paths, placement.ServingPath{Req: rq, Path: sp.Path, Rate: lam * sp.Rate / tot})
+			}
+			continue
+		}
+		best, bestD := -1, math.Inf(1)
+		for v := range dec.Placement.Stores {
+			if dec.Placement.Stores[v][rq.Item] && h.Dist[v][rq.Node] < bestD {
+				best, bestD = v, h.Dist[v][rq.Node]
+			}
+		}
+		if best < 0 {
+			return 0, 0, fmt.Errorf("no replica for unanticipated request %+v", rq)
+		}
+		tree, ok := trees[best]
+		if !ok {
+			tree = graph.Dijkstra(truth.G, best, nil, nil)
+			trees[best] = tree
+		}
+		p, ok := tree.PathTo(truth.G, rq.Node)
+		if !ok {
+			return 0, 0, fmt.Errorf("requester %d unreachable from replica %d", rq.Node, best)
+		}
+		paths = append(paths, placement.ServingPath{Req: rq, Path: p, Rate: lam})
+	}
+	cost, _, cong = placement.EvaluateServing(truth, paths, dec.Placement)
+	return cost, cong, nil
+}

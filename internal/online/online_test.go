@@ -1,0 +1,176 @@
+package online
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"jcr/internal/graph"
+	"jcr/internal/placement"
+)
+
+// buildHours makes a small multi-hour workload whose hot item flips
+// between the two edge caches at hour 2, with a mild prediction error.
+func buildHours(t *testing.T) []HourInput {
+	t.Helper()
+	g := graph.New(4)
+	g.AddEdge(0, 1, 50, 100)
+	g.AddEdge(1, 2, 2, 100)
+	g.AddEdge(1, 3, 3, 100)
+	dist := graph.AllPairs(g)
+	mk := func(r0at2, r0at3, r1at2, r1at3 float64) *placement.Spec {
+		return &placement.Spec{
+			G:        g,
+			NumItems: 2,
+			CacheCap: []float64{0, 0, 1, 1},
+			Pinned:   []graph.NodeID{0},
+			Rates:    [][]float64{{0, 0, r0at2, r0at3}, {0, 0, r1at2, r1at3}},
+		}
+	}
+	var hours []HourInput
+	for h := 0; h < 4; h++ {
+		var truth *placement.Spec
+		if h < 2 {
+			truth = mk(8, 1, 1, 6)
+		} else {
+			truth = mk(1, 6, 8, 1) // popularity flip
+		}
+		// Decision demand: truth with 10% noise.
+		dec := mk(0, 0, 0, 0)
+		rng := rand.New(rand.NewSource(int64(h)))
+		for i := range truth.Rates {
+			for v := range truth.Rates[i] {
+				dec.Rates[i][v] = truth.Rates[i][v] * (1 + 0.1*rng.NormFloat64())
+				if dec.Rates[i][v] < 0 {
+					dec.Rates[i][v] = 0
+				}
+			}
+		}
+		hours = append(hours, HourInput{Hour: h, Decision: dec, Truth: truth, Dist: dist})
+	}
+	return hours
+}
+
+func TestSimulateAlternatingAdapts(t *testing.T) {
+	hours := buildHours(t)
+	adaptive, err := Simulate(&AlternatingPolicy{Rng: rand.New(rand.NewSource(1))}, hours)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := Simulate(&StaticPolicy{Inner: &AlternatingPolicy{Rng: rand.New(rand.NewSource(1))}}, hours)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adaptive.Hours) != 4 || len(static.Hours) != 4 {
+		t.Fatalf("hour counts: adaptive %d, static %d", len(adaptive.Hours), len(static.Hours))
+	}
+	// The popularity flips at hour 2: adapting must beat the frozen
+	// decision overall.
+	if adaptive.TotalCost() >= static.TotalCost() {
+		t.Errorf("adaptive cost %v should beat static %v after the popularity flip",
+			adaptive.TotalCost(), static.TotalCost())
+	}
+	// Static never churns; adaptive churns at the flip.
+	if static.TotalChurn() != 0 {
+		t.Errorf("static churn = %d, want 0", static.TotalChurn())
+	}
+	if adaptive.TotalChurn() == 0 {
+		t.Error("adaptive policy should move items at the popularity flip")
+	}
+	// First hour never counts churn.
+	if adaptive.Hours[0].Churn != 0 {
+		t.Errorf("first-hour churn = %d, want 0", adaptive.Hours[0].Churn)
+	}
+}
+
+func TestWarmStartReducesChurn(t *testing.T) {
+	hours := buildHours(t)
+	cold, err := Simulate(&AlternatingPolicy{Rng: rand.New(rand.NewSource(2))}, hours)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Simulate(&AlternatingPolicy{WarmStart: true, Rng: rand.New(rand.NewSource(2))}, hours)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.TotalChurn() > cold.TotalChurn() {
+		t.Errorf("warm-start churn %d should not exceed cold churn %d", warm.TotalChurn(), cold.TotalChurn())
+	}
+}
+
+func TestBaselinePolicies(t *testing.T) {
+	hours := buildHours(t)
+	for _, pol := range []Policy{
+		SPPolicy{Origin: 0},
+		RNRPolicy{},
+		&AlternatingPolicy{Fractional: true, Rng: rand.New(rand.NewSource(3))},
+	} {
+		s, err := Simulate(pol, hours)
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		if s.Policy != pol.Name() || len(s.Hours) != len(hours) {
+			t.Errorf("%s: malformed series", pol.Name())
+		}
+		for _, h := range s.Hours {
+			if h.Cost < 0 || math.IsNaN(h.Cost) || math.IsNaN(h.Congestion) {
+				t.Errorf("%s hour %d: bad metrics %+v", pol.Name(), h.Hour, h)
+			}
+		}
+	}
+}
+
+func TestSeriesAggregates(t *testing.T) {
+	s := &Series{Policy: "x", Hours: []HourMetrics{
+		{Cost: 10, Congestion: 1, Churn: 2},
+		{Cost: 20, Congestion: 3, Churn: 0},
+	}}
+	if s.TotalCost() != 30 || s.MeanCongestion() != 2 || s.TotalChurn() != 2 {
+		t.Errorf("aggregates wrong: %v %v %v", s.TotalCost(), s.MeanCongestion(), s.TotalChurn())
+	}
+	empty := &Series{}
+	if empty.MeanCongestion() != 0 {
+		t.Error("empty series mean congestion should be 0")
+	}
+}
+
+func TestSimulateErrorPropagation(t *testing.T) {
+	// An hour whose decision spec is broken must surface the policy
+	// error with context, not panic.
+	g := graph.New(2)
+	g.AddEdge(0, 1, 1, 10)
+	bad := &placement.Spec{
+		G:        g,
+		NumItems: 1,
+		CacheCap: []float64{0}, // wrong length
+		Rates:    [][]float64{{0, 1}},
+	}
+	_, err := Simulate(&AlternatingPolicy{}, []HourInput{{
+		Hour: 0, Decision: bad, Truth: bad, Dist: graph.AllPairs(g),
+	}})
+	if err == nil {
+		t.Fatal("broken spec accepted")
+	}
+}
+
+func TestEvaluateOnTruthUnanticipated(t *testing.T) {
+	// The decision served nothing (empty paths, empty placement beyond
+	// the pinned origin): every true request must fall back to RNR.
+	g := graph.New(2)
+	g.AddEdge(0, 1, 4, 10)
+	s := &placement.Spec{
+		G:        g,
+		NumItems: 1,
+		CacheCap: []float64{0, 0},
+		Pinned:   []graph.NodeID{0},
+		Rates:    [][]float64{{0, 2}},
+	}
+	dec := &Decision{Placement: s.NewPlacement()}
+	cost, _, err := evaluateOnTruth(HourInput{Truth: s, Dist: graph.AllPairs(g)}, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 8 {
+		t.Errorf("fallback cost = %v, want 8", cost)
+	}
+}

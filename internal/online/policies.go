@@ -1,0 +1,109 @@
+package online
+
+import (
+	"math/rand"
+
+	"jcr/internal/core"
+	"jcr/internal/placement"
+)
+
+// AlternatingPolicy re-runs the Section 4.3.3 alternating optimizer each
+// hour (the paper's proposed operation).
+type AlternatingPolicy struct {
+	// Fractional selects IC-FR routing; default is IC-IR.
+	Fractional bool
+	// WarmStart seeds each hour with the previous hour's placement,
+	// which both speeds convergence and reduces churn.
+	WarmStart bool
+	// Rng drives the routing's randomized rounding.
+	Rng *rand.Rand
+
+	prev *placement.Placement
+}
+
+// Name implements Policy.
+func (p *AlternatingPolicy) Name() string {
+	switch {
+	case p.WarmStart:
+		return "alternating (warm start)"
+	case p.Fractional:
+		return "alternating (IC-FR)"
+	default:
+		return "alternating"
+	}
+}
+
+// Decide implements Policy.
+func (p *AlternatingPolicy) Decide(spec *placement.Spec, dist [][]float64) (*Decision, error) {
+	opts := core.AlternatingOptions{Fractional: p.Fractional, Rng: p.Rng}
+	if p.WarmStart && p.prev != nil {
+		opts.Initial = p.prev
+	}
+	sol, err := core.Alternating(spec, opts)
+	if err != nil {
+		return nil, err
+	}
+	p.prev = sol.Placement
+	return &Decision{Placement: sol.Placement, Paths: sol.Routing.Paths}, nil
+}
+
+// SPPolicy is the [38] baseline: per-path placement on the origin's
+// shortest-path tree, served along those paths.
+type SPPolicy struct {
+	Origin int
+}
+
+// Name implements Policy.
+func (SPPolicy) Name() string { return "SP [38]" }
+
+// Decide implements Policy.
+func (p SPPolicy) Decide(spec *placement.Spec, dist [][]float64) (*Decision, error) {
+	pl, paths, err := placement.SP38(spec, p.Origin, placement.PerPathAuto, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Decision{Placement: pl, Paths: paths}, nil
+}
+
+// RNRPolicy places greedily and routes every request from its nearest
+// replica, capacity-obliviously.
+type RNRPolicy struct{}
+
+// Name implements Policy.
+func (RNRPolicy) Name() string { return "greedy + RNR" }
+
+// Decide implements Policy.
+func (RNRPolicy) Decide(spec *placement.Spec, dist [][]float64) (*Decision, error) {
+	res, err := placement.Greedy(spec, dist)
+	if err != nil {
+		return nil, err
+	}
+	paths, err := placement.GlobalRNRServing(spec, res.Placement, dist)
+	if err != nil {
+		return nil, err
+	}
+	return &Decision{Placement: res.Placement, Paths: paths}, nil
+}
+
+// StaticPolicy decides once (on the first hour it sees) and never changes:
+// the natural churn-free baseline.
+type StaticPolicy struct {
+	Inner Policy
+
+	decided *Decision
+}
+
+// Name implements Policy.
+func (p *StaticPolicy) Name() string { return "static " + p.Inner.Name() }
+
+// Decide implements Policy.
+func (p *StaticPolicy) Decide(spec *placement.Spec, dist [][]float64) (*Decision, error) {
+	if p.decided == nil {
+		d, err := p.Inner.Decide(spec, dist)
+		if err != nil {
+			return nil, err
+		}
+		p.decided = d
+	}
+	return p.decided, nil
+}

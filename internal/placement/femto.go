@@ -1,0 +1,97 @@
+package placement
+
+import (
+	"fmt"
+	"math"
+
+	"jcr/internal/graph"
+)
+
+// FemtoSpec builds the Section 4.1.4 special case as a Spec: a bipartite
+// cache network in which a set H of helper caches and one origin serve a
+// set U of pure requesters over logical links whose costs are the
+// least-cost path costs of the underlying (uncapacitated) network. The
+// paper shows Algorithm 1 generalizes the FemtoCaching problem [32] to
+// arbitrary costs; this constructor makes the reduction concrete so Alg1
+// (or Greedy) can be applied to it directly.
+//
+//   - helperCost[h][u] is the delivery cost from helper h to requester u
+//     (math.Inf(1) when h cannot serve u, i.e. no logical link);
+//   - originCost[u] is the delivery cost from the origin server to u;
+//   - capacity[h] is helper h's cache size in items;
+//   - rates[i][u] is the request rate of item i at requester u.
+//
+// Node numbering in the resulting Spec: 0 is the origin (pinned), then the
+// |H| helpers, then the |U| requesters.
+func FemtoSpec(helperCost [][]float64, originCost []float64, capacity []float64, rates [][]float64) (*Spec, error) {
+	nH := len(helperCost)
+	nU := len(originCost)
+	if len(capacity) != nH {
+		return nil, fmt.Errorf("placement: %d capacities for %d helpers", len(capacity), nH)
+	}
+	if nU == 0 || len(rates) == 0 {
+		return nil, fmt.Errorf("placement: empty femto instance")
+	}
+	for h, row := range helperCost {
+		if len(row) != nU {
+			return nil, fmt.Errorf("placement: helper %d has %d costs for %d requesters", h, len(row), nU)
+		}
+	}
+	g := graph.New(1 + nH + nU)
+	helper := func(h int) graph.NodeID { return 1 + h }
+	requester := func(u int) graph.NodeID { return 1 + nH + u }
+	for u, c := range originCost {
+		if math.IsInf(c, 1) {
+			return nil, fmt.Errorf("placement: requester %d unreachable from the origin", u)
+		}
+		if c < 0 {
+			return nil, fmt.Errorf("placement: negative origin cost %v", c)
+		}
+		g.AddArc(0, requester(u), c, graph.Unlimited)
+	}
+	for h, row := range helperCost {
+		for u, c := range row {
+			if math.IsInf(c, 1) {
+				continue // helper h does not cover requester u
+			}
+			if c < 0 {
+				return nil, fmt.Errorf("placement: negative helper cost %v", c)
+			}
+			g.AddArc(helper(h), requester(u), c, graph.Unlimited)
+		}
+	}
+	nItems := len(rates)
+	spec := &Spec{
+		G:        g,
+		NumItems: nItems,
+		CacheCap: make([]float64, g.NumNodes()),
+		Pinned:   []graph.NodeID{0},
+		Rates:    make([][]float64, nItems),
+	}
+	for h, c := range capacity {
+		if c < 0 {
+			return nil, fmt.Errorf("placement: negative capacity %v for helper %d", c, h)
+		}
+		spec.CacheCap[helper(h)] = c
+	}
+	for i, row := range rates {
+		if len(row) != nU {
+			return nil, fmt.Errorf("placement: item %d has %d rates for %d requesters", i, len(row), nU)
+		}
+		spec.Rates[i] = make([]float64, g.NumNodes())
+		for u, r := range row {
+			spec.Rates[i][requester(u)] = r
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// FemtoRequesterNode maps a requester index of FemtoSpec back to its node
+// ID (useful for reading Sources out of an Alg1Result).
+func FemtoRequesterNode(numHelpers, u int) graph.NodeID { return 1 + numHelpers + u }
+
+// FemtoHelperNode maps a helper index of FemtoSpec to its node ID.
+func FemtoHelperNode(h int) graph.NodeID { return 1 + h }

@@ -1,0 +1,117 @@
+package placement
+
+import (
+	"jcr/internal/graph"
+)
+
+// polishPlacement improves an integral placement by monotone local search
+// under the RNR objective: it fills unused cache slots with the items whose
+// marginal saving is largest and swaps a cached item for an uncached one
+// whenever that strictly increases the total saving. Because items occupy
+// disjoint request sets, a swap's net effect is the added item's gain minus
+// the removed item's loss, both computable from the per-request nearest and
+// second-nearest replica distances. Homogeneous item sizes only (Alg. 1's
+// setting).
+func polishPlacement(s *Spec, dist [][]float64, wmax float64, pl *Placement, nodes []graph.NodeID) {
+	reqsByItem := make([][]Request, s.NumItems)
+	for _, rq := range s.Requests() {
+		reqsByItem[rq.Item] = append(reqsByItem[rq.Item], rq)
+	}
+	// nearestTwo returns the best and second-best replica distances for
+	// request rq (wmax when absent).
+	nearestTwo := func(rq Request) (d1, d2 float64, v1 graph.NodeID) {
+		d1, d2 = wmax, wmax
+		v1 = -1
+		for v := range pl.Stores {
+			if !pl.Stores[v][rq.Item] {
+				continue
+			}
+			d := dist[v][rq.Node]
+			if d < d1 {
+				d2 = d1
+				d1, v1 = d, v
+			} else if d < d2 {
+				d2 = d
+			}
+		}
+		return d1, d2, v1
+	}
+	gainOf := func(v graph.NodeID, i int) float64 {
+		var g float64
+		for _, rq := range reqsByItem[i] {
+			d1, _, _ := nearestTwo(rq)
+			if d := dist[v][rq.Node]; d < d1 {
+				g += s.Rates[i][rq.Node] * (d1 - d)
+			}
+		}
+		return g
+	}
+	lossOf := func(v graph.NodeID, i int) float64 {
+		var l float64
+		for _, rq := range reqsByItem[i] {
+			d1, d2, v1 := nearestTwo(rq)
+			if v1 == v {
+				l += s.Rates[i][rq.Node] * (d2 - d1)
+			}
+		}
+		return l
+	}
+	const maxRounds = 5
+	for round := 0; round < maxRounds; round++ {
+		improved := false
+		for _, v := range nodes {
+			// Fill any slack with the best-gaining items.
+			for {
+				used := 0.0
+				for i := 0; i < s.NumItems; i++ {
+					if pl.Stores[v][i] {
+						used++
+					}
+				}
+				if used+1 > s.CacheCap[v]+1e-9 {
+					break
+				}
+				bestI, bestG := -1, 1e-12
+				for i := 0; i < s.NumItems; i++ {
+					if pl.Stores[v][i] {
+						continue
+					}
+					if g := gainOf(v, i); g > bestG {
+						bestI, bestG = i, g
+					}
+				}
+				if bestI < 0 {
+					break
+				}
+				pl.Stores[v][bestI] = true
+				improved = true
+			}
+			// Best single swap at v: distinct items' request sets are
+			// disjoint, so net = gain(add) - loss(remove).
+			bestIn, bestOut := -1, -1
+			bestNet := 1e-9
+			for out := 0; out < s.NumItems; out++ {
+				if !pl.Stores[v][out] {
+					continue
+				}
+				loss := lossOf(v, out)
+				for in := 0; in < s.NumItems; in++ {
+					if pl.Stores[v][in] {
+						continue
+					}
+					if net := gainOf(v, in) - loss; net > bestNet {
+						bestNet, bestIn, bestOut = net, in, out
+					}
+				}
+			}
+			if bestIn >= 0 {
+				pl.Stores[v][bestOut] = false
+				pl.Stores[v][bestIn] = true
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+}

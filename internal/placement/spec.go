@@ -1,0 +1,227 @@
+// Package placement implements the content-placement algorithms of the
+// paper: Algorithm 1 (the truly polynomial-time pipage-rounding algorithm
+// for integral caching under unlimited link capacities, Section 4.1), the
+// greedy submodular placement used for heterogeneous item sizes (Section
+// 5), the per-path placement subroutine of the alternating optimizer
+// (Section 4.3.1), and the benchmark placements of Ioannidis & Yeh: the
+// shortest-path placement of [38] and the k-shortest-paths joint scheme of
+// [3].
+package placement
+
+import (
+	"fmt"
+	"math"
+
+	"jcr/internal/graph"
+)
+
+// Spec describes a content-placement problem.
+type Spec struct {
+	// G is the network; arc capacities are ignored by placement (they
+	// matter to routing).
+	G *graph.Graph
+	// NumItems is the catalog size |C|.
+	NumItems int
+	// CacheCap[v] is node v's cache capacity: a number of items when
+	// ItemSize is nil (homogeneous chunks), otherwise the same unit as
+	// ItemSize (e.g. MB). Zero for nodes without caches.
+	CacheCap []float64
+	// ItemSize[i] is item i's size for the heterogeneous model of
+	// Section 5; nil means all items have unit size.
+	ItemSize []float64
+	// Pinned lists nodes that permanently store the entire catalog (the
+	// origin server); they are not placement decisions and are exempt
+	// from CacheCap.
+	Pinned []graph.NodeID
+	// Rates[i][s] is the request rate lambda_(i,s); s ranges over all
+	// nodes (zero where node s does not request item i).
+	Rates [][]float64
+}
+
+// Size returns item i's size (1 under the homogeneous model).
+func (s *Spec) Size(i int) float64 {
+	if s.ItemSize == nil {
+		return 1
+	}
+	return s.ItemSize[i]
+}
+
+// IsPinned reports whether node v permanently stores everything.
+func (s *Spec) IsPinned(v graph.NodeID) bool {
+	for _, p := range s.Pinned {
+		if p == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks internal consistency of the spec.
+func (s *Spec) Validate() error {
+	n := s.G.NumNodes()
+	if len(s.CacheCap) != n {
+		return fmt.Errorf("placement: %d cache capacities for %d nodes", len(s.CacheCap), n)
+	}
+	if s.ItemSize != nil && len(s.ItemSize) != s.NumItems {
+		return fmt.Errorf("placement: %d item sizes for %d items", len(s.ItemSize), s.NumItems)
+	}
+	if len(s.Rates) != s.NumItems {
+		return fmt.Errorf("placement: %d rate rows for %d items", len(s.Rates), s.NumItems)
+	}
+	for i, row := range s.Rates {
+		if len(row) != n {
+			return fmt.Errorf("placement: item %d has %d rate entries for %d nodes", i, len(row), n)
+		}
+		for _, r := range row {
+			if r < 0 || math.IsNaN(r) {
+				return fmt.Errorf("placement: item %d has invalid rate %v", i, r)
+			}
+		}
+	}
+	for _, p := range s.Pinned {
+		if p < 0 || p >= n {
+			return fmt.Errorf("placement: pinned node %d out of range", p)
+		}
+	}
+	return nil
+}
+
+// Request identifies one request type (i, s).
+type Request struct {
+	Item int
+	Node graph.NodeID
+}
+
+// Requests enumerates the request types with positive rate.
+func (s *Spec) Requests() []Request {
+	var out []Request
+	for i, row := range s.Rates {
+		for v, r := range row {
+			if r > 0 {
+				out = append(out, Request{Item: i, Node: v})
+			}
+		}
+	}
+	return out
+}
+
+// Placement is an integral caching decision. Stores[v][i] reports whether
+// node v caches item i; pinned nodes store everything.
+type Placement struct {
+	Stores [][]bool
+}
+
+// NewPlacement returns an empty placement for the spec with the pinned
+// nodes filled in.
+func (s *Spec) NewPlacement() *Placement {
+	p := &Placement{Stores: make([][]bool, s.G.NumNodes())}
+	for v := range p.Stores {
+		p.Stores[v] = make([]bool, s.NumItems)
+	}
+	for _, v := range s.Pinned {
+		for i := 0; i < s.NumItems; i++ {
+			p.Stores[v][i] = true
+		}
+	}
+	return p
+}
+
+// Has reports whether v stores item i.
+func (p *Placement) Has(v graph.NodeID, i int) bool { return p.Stores[v][i] }
+
+// Replicas returns the nodes storing item i.
+func (p *Placement) Replicas(i int) []graph.NodeID {
+	var out []graph.NodeID
+	for v := range p.Stores {
+		if p.Stores[v][i] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Occupancy returns node v's used cache size under the spec's item sizes.
+func (s *Spec) Occupancy(p *Placement, v graph.NodeID) float64 {
+	var used float64
+	for i := 0; i < s.NumItems; i++ {
+		if p.Stores[v][i] {
+			used += s.Size(i)
+		}
+	}
+	return used
+}
+
+// MaxOccupancyRatio returns the maximum used-to-capacity ratio over all
+// non-pinned cache nodes, the "maximum cache occupancy" metric of Fig. 5:
+// values above 1 mean the placement is infeasible.
+func (s *Spec) MaxOccupancyRatio(p *Placement) float64 {
+	var worst float64
+	for v := range p.Stores {
+		if s.IsPinned(v) || s.CacheCap[v] <= 0 {
+			continue
+		}
+		if r := s.Occupancy(p, v) / s.CacheCap[v]; r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// CheckFeasible verifies cache capacities (pinned nodes exempt).
+func (s *Spec) CheckFeasible(p *Placement) error {
+	for v := range p.Stores {
+		if s.IsPinned(v) {
+			continue
+		}
+		if used := s.Occupancy(p, v); used > s.CacheCap[v]+1e-9 {
+			return fmt.Errorf("placement: node %d uses %.6g of capacity %.6g", v, used, s.CacheCap[v])
+		}
+	}
+	return nil
+}
+
+// RNRSources selects, for every request, the least-cost node storing the
+// requested item (route-to-nearest-replica). dist must be the all-pairs
+// least-cost matrix of s.G. The second return is the total routing cost
+// sum lambda_(i,s) * w_{v*->s}.
+func (s *Spec) RNRSources(p *Placement, dist [][]float64) (map[Request]graph.NodeID, float64, error) {
+	src := make(map[Request]graph.NodeID)
+	var cost float64
+	for _, rq := range s.Requests() {
+		best := -1
+		bestD := math.Inf(1)
+		for v := range p.Stores {
+			if !p.Stores[v][rq.Item] {
+				continue
+			}
+			if d := dist[v][rq.Node]; d < bestD {
+				bestD = d
+				best = v
+			}
+		}
+		if best < 0 {
+			return nil, 0, fmt.Errorf("placement: no reachable replica of item %d for requester %d", rq.Item, rq.Node)
+		}
+		src[rq] = best
+		cost += s.Rates[rq.Item][rq.Node] * bestD
+	}
+	return src, cost, nil
+}
+
+// SavingRNR evaluates the cost-saving set function F~_RNR of Eq. (4) up to
+// an additive constant: sum over requests of lambda * (wmax - nearest
+// replica distance), with wmax counted for items with no replica. It is
+// monotone and submodular in the placement (Lemma 4.1).
+func (s *Spec) SavingRNR(p *Placement, dist [][]float64, wmax float64) float64 {
+	var saving float64
+	for _, rq := range s.Requests() {
+		d := wmax
+		for v := range p.Stores {
+			if p.Stores[v][rq.Item] && dist[v][rq.Node] < d {
+				d = dist[v][rq.Node]
+			}
+		}
+		saving += s.Rates[rq.Item][rq.Node] * (wmax - d)
+	}
+	return saving
+}

@@ -1,0 +1,430 @@
+// Package routing solves the source-selection-and-routing subproblem of
+// Section 4.3.2: given an integral content placement, route every request
+// from some replica of its item at minimum total cost, subject (softly) to
+// link capacities. Following Lemma 4.5's generalization, a virtual source
+// per content item reduces the joint problem to a pure routing problem in
+// an auxiliary graph:
+//
+//   - MMSFP (fractional routing) is solved exactly: first by independent
+//     per-content min-cost flows (optimal whenever they happen to respect
+//     the shared capacities), then by the coupled multicommodity LP when
+//     small enough, and otherwise by a sequential residual-capacity
+//     heuristic with a capacity-oblivious last resort (the paper's
+//     evaluation likewise lets algorithms exceed capacity and measures the
+//     resulting congestion).
+//   - MMUFP (integral routing, NP-hard [26]) is approximated by randomized
+//     rounding of the splittable path flows, the method the paper's
+//     evaluation uses.
+package routing
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"jcr/internal/flow"
+	"jcr/internal/graph"
+	"jcr/internal/lp"
+	"jcr/internal/placement"
+)
+
+// Method names reported in Result.Method.
+const (
+	MethodIndependent = "independent"
+	MethodLP          = "lp"
+	MethodSequential  = "sequential"
+)
+
+// Options control the routing solver.
+type Options struct {
+	// Fractional selects MMSFP output (possibly several partial-rate
+	// paths per request); otherwise each request gets one full-rate path
+	// (MMUFP via randomized rounding).
+	Fractional bool
+	// LPMaxVars caps the size (flow variables) of the exact
+	// multicommodity LP; larger instances use the sequential heuristic.
+	// Zero means the default.
+	LPMaxVars int
+	// Rng drives randomized rounding; nil uses a fixed seed.
+	Rng *rand.Rand
+	// RoundingTrials is how many independent randomized roundings to
+	// draw under integral routing, keeping the one with the least
+	// congestion (ties broken by cost). Zero means the default of 5.
+	RoundingTrials int
+}
+
+const defaultLPMaxVars = 6000
+
+// itemDemand aggregates one content item's requests: which nodes want it
+// and at what rate.
+type itemDemand struct {
+	item  int
+	sinks map[graph.NodeID]float64
+	total float64
+}
+
+// Result is a routing solution.
+type Result struct {
+	// Paths serve the requests; under fractional routing a request may
+	// appear with several partial rates summing to its demand.
+	Paths []placement.ServingPath
+	// Cost, Loads and MaxUtilization are measured with
+	// placement.EvaluateServing semantics.
+	Cost           float64
+	Loads          []float64
+	MaxUtilization float64
+	// Method records how the splittable flow was computed.
+	Method string
+}
+
+// Route solves the routing subproblem for the given placement.
+func Route(s *placement.Spec, pl *placement.Placement, opts Options) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.LPMaxVars <= 0 {
+		opts.LPMaxVars = defaultLPMaxVars
+	}
+	if opts.Rng == nil {
+		opts.Rng = rand.New(rand.NewSource(1))
+	}
+	if opts.RoundingTrials <= 0 {
+		opts.RoundingTrials = 5
+	}
+	// Active items and their replica sets.
+	var active []itemDemand
+	var groups [][]graph.NodeID
+	for i := 0; i < s.NumItems; i++ {
+		sinks := map[graph.NodeID]float64{}
+		var total float64
+		for v, r := range s.Rates[i] {
+			if r > 0 {
+				sinks[v] += r
+				total += r
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		reps := pl.Replicas(i)
+		if len(reps) == 0 {
+			return nil, fmt.Errorf("routing: item %d has no replicas", i)
+		}
+		active = append(active, itemDemand{item: i, sinks: sinks, total: total})
+		groups = append(groups, reps)
+	}
+	aux := graph.NewAuxiliary(s.G, groups)
+
+	// Splittable per-item arc flows on the auxiliary graph.
+	flows, method, err := splittableFlows(aux, active, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Decompose each item's flow into per-request path options.
+	type reqOptions struct {
+		rq   placement.Request
+		list []flow.PathFlow
+	}
+	var all []reqOptions
+	for k, ad := range active {
+		vs := aux.VirtualSource[k]
+		pfs, err := flow.Decompose(aux.G, flows[k], vs, ad.sinks)
+		if err != nil {
+			return nil, fmt.Errorf("routing: item %d: %w", ad.item, err)
+		}
+		byReq := map[graph.NodeID][]flow.PathFlow{}
+		for _, pf := range pfs {
+			byReq[pf.Sink] = append(byReq[pf.Sink], pf)
+		}
+		for sink, list := range byReq {
+			all = append(all, reqOptions{
+				rq:   placement.Request{Item: ad.item, Node: sink},
+				list: list,
+			})
+		}
+	}
+	if opts.Fractional {
+		var paths []placement.ServingPath
+		for _, ro := range all {
+			for _, pf := range ro.list {
+				base, _ := aux.StripVirtual(pf.Path)
+				paths = append(paths, placement.ServingPath{Req: ro.rq, Path: base, Rate: pf.Amount})
+			}
+		}
+		cost, loads, maxUtil := placement.EvaluateServing(s, paths, pl)
+		return &Result{Paths: paths, Cost: cost, Loads: loads, MaxUtilization: maxUtil, Method: method}, nil
+	}
+	// Randomized rounding (MMUFP): draw each request's single path with
+	// probability proportional to its flow; repeat and keep the draw
+	// with the least congestion, then the least cost.
+	demandOf := func(ro reqOptions) float64 {
+		for _, ad := range active {
+			if ad.item == ro.rq.Item {
+				return ad.sinks[ro.rq.Node]
+			}
+		}
+		return 0
+	}
+	var best *Result
+	for trial := 0; trial < opts.RoundingTrials; trial++ {
+		paths := make([]placement.ServingPath, 0, len(all))
+		for _, ro := range all {
+			var total float64
+			for _, pf := range ro.list {
+				total += pf.Amount
+			}
+			chosen := ro.list[len(ro.list)-1]
+			if len(ro.list) > 1 {
+				pick := opts.Rng.Float64() * total
+				for _, pf := range ro.list {
+					if pick < pf.Amount {
+						chosen = pf
+						break
+					}
+					pick -= pf.Amount
+				}
+			}
+			base, _ := aux.StripVirtual(chosen.Path)
+			paths = append(paths, placement.ServingPath{Req: ro.rq, Path: base, Rate: demandOf(ro)})
+		}
+		cost, loads, maxUtil := placement.EvaluateServing(s, paths, pl)
+		cand := &Result{Paths: paths, Cost: cost, Loads: loads, MaxUtilization: maxUtil, Method: method}
+		if best == nil ||
+			cand.MaxUtilization < best.MaxUtilization-1e-12 ||
+			(math.Abs(cand.MaxUtilization-best.MaxUtilization) <= 1e-12 && cand.Cost < best.Cost) {
+			best = cand
+		}
+	}
+	return best, nil
+}
+
+// SolveMMSFPExact computes the exact optimal fractional routing cost for a
+// fixed placement via the coupled multicommodity LP, with no heuristic
+// fallbacks: if the demands do not fit the link capacities it returns the
+// LP's infeasibility error. Intended for reference bounds and tests; the
+// evaluation-scale path is Route.
+func SolveMMSFPExact(s *placement.Spec, pl *placement.Placement) (float64, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	var active []itemDemand
+	var groups [][]graph.NodeID
+	for i := 0; i < s.NumItems; i++ {
+		sinks := map[graph.NodeID]float64{}
+		var total float64
+		for v, r := range s.Rates[i] {
+			if r > 0 {
+				sinks[v] += r
+				total += r
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		reps := pl.Replicas(i)
+		if len(reps) == 0 {
+			return 0, fmt.Errorf("routing: item %d has no replicas", i)
+		}
+		active = append(active, itemDemand{item: i, sinks: sinks, total: total})
+		groups = append(groups, reps)
+	}
+	if len(active) == 0 {
+		return 0, nil
+	}
+	aux := graph.NewAuxiliary(s.G, groups)
+	flows, err := multicommodityLP(aux, active)
+	if err != nil {
+		return 0, err
+	}
+	var cost float64
+	for k := range flows {
+		for e, f := range flows[k] {
+			cost += f * aux.G.Arc(e).Cost
+		}
+	}
+	return cost, nil
+}
+
+// splittableFlows computes per-item arc flows (indexed like aux.G arcs)
+// satisfying each item's demands, minimizing total cost within shared real
+// link capacities when possible.
+func splittableFlows(aux *graph.Auxiliary, active []itemDemand, opts Options) ([][]float64, string, error) {
+	g := aux.G
+	// 1. Independent per-item min-cost flows, each respecting the link
+	// capacities on its own.
+	flows := make([][]float64, len(active))
+	agg := make([]float64, g.NumArcs())
+	independentOK := true
+	for k, ad := range active {
+		f, err := itemMinCostFlow(aux, k, ad.sinks, nil, false)
+		if err != nil {
+			// Even this single item exceeds some capacity: route it
+			// capacity-obliviously; the congestion check below will
+			// send us to the coupled solvers.
+			f, err = itemMinCostFlow(aux, k, ad.sinks, nil, true)
+			if err != nil {
+				return nil, "", err
+			}
+		}
+		flows[k] = f
+		for id, v := range f {
+			agg[id] += v
+		}
+	}
+	for id, v := range agg {
+		if c := g.Arc(id).Cap; !math.IsInf(c, 1) && v > c*(1+1e-9)+1e-9 {
+			independentOK = false
+			break
+		}
+	}
+	if independentOK {
+		return flows, MethodIndependent, nil
+	}
+	// 2. Exact multicommodity LP when small enough.
+	if len(active)*g.NumArcs() <= opts.LPMaxVars {
+		lpFlows, err := multicommodityLP(aux, active)
+		if err == nil {
+			return lpFlows, MethodLP, nil
+		}
+		// Infeasible or numerically stuck: fall through to the
+		// sequential heuristic, which always produces a solution.
+	}
+	// 3. Sequential residual-capacity routing, largest demand first,
+	// with a capacity-oblivious fallback per item.
+	order := make([]int, len(active))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return active[order[a]].total > active[order[b]].total })
+	residual := make([]float64, g.NumArcs())
+	for id := range residual {
+		residual[id] = g.Arc(id).Cap
+	}
+	for _, k := range order {
+		f, err := itemMinCostFlow(aux, k, active[k].sinks, residual, false)
+		if err != nil {
+			// No room left: route capacity-obliviously and absorb
+			// the congestion (measured by the caller).
+			f, err = itemMinCostFlow(aux, k, active[k].sinks, nil, true)
+			if err != nil {
+				return nil, "", err
+			}
+		}
+		flows[k] = f
+		for id, v := range f {
+			residual[id] -= v
+			if residual[id] < 0 {
+				residual[id] = 0
+			}
+		}
+	}
+	return flows, MethodSequential, nil
+}
+
+// itemMinCostFlow routes one item's demands from its virtual source via a
+// super-sink min-cost flow. residual, if non-nil, overrides arc capacities;
+// unlimited ignores capacities entirely (the capacity-oblivious last
+// resort, whose congestion the caller measures).
+func itemMinCostFlow(aux *graph.Auxiliary, k int, sinks map[graph.NodeID]float64, residual []float64, unlimited bool) ([]float64, error) {
+	gg := aux.G.Clone()
+	switch {
+	case unlimited:
+		for id := 0; id < aux.G.NumArcs(); id++ {
+			gg.SetArcCap(id, graph.Unlimited)
+		}
+	case residual != nil:
+		for id := 0; id < aux.G.NumArcs(); id++ {
+			if aux.IsVirtualArc(id) {
+				continue
+			}
+			gg.SetArcCap(id, residual[id])
+		}
+	}
+	super := gg.AddNode()
+	var total float64
+	for t, d := range sinks {
+		gg.AddArc(t, super, 0, d)
+		total += d
+	}
+	res, err := flow.MinCostFlow(gg, aux.VirtualSource[k], super, total)
+	if err != nil {
+		return nil, err
+	}
+	return res.Arc[:aux.G.NumArcs()], nil
+}
+
+// multicommodityLP solves the coupled MMSFP exactly: one flow variable per
+// (item, arc), per-item conservation, shared capacity on real arcs.
+func multicommodityLP(aux *graph.Auxiliary, active []itemDemand) ([][]float64, error) {
+	g := aux.G
+	m := g.NumArcs()
+	nc := len(active)
+	p := lp.NewProblem(nc * m)
+	fIdx := func(k, e int) int { return k*m + e }
+	for k := range active {
+		for e := 0; e < m; e++ {
+			p.SetObjectiveCoeff(fIdx(k, e), g.Arc(e).Cost)
+		}
+	}
+	// Conservation per item and node.
+	for k, ad := range active {
+		vs := aux.VirtualSource[k]
+		for v := 0; v < g.NumNodes(); v++ {
+			var idx []int
+			var val []float64
+			for _, e := range g.Out(v) {
+				idx = append(idx, fIdx(k, e))
+				val = append(val, 1)
+			}
+			for _, e := range g.In(v) {
+				idx = append(idx, fIdx(k, e))
+				val = append(val, -1)
+			}
+			supply := 0.0
+			if v == vs {
+				supply = ad.total
+			} else if d, isSink := ad.sinks[v]; isSink {
+				supply = -d
+			}
+			if len(idx) == 0 {
+				if supply != 0 {
+					return nil, fmt.Errorf("routing: node %d has demand but no incident arcs", v)
+				}
+				continue
+			}
+			// Other items' virtual sources are isolated from item
+			// k's flow: their virtual arcs stay unused because no
+			// flow can enter them (in-degree 0 for vs).
+			p.AddConstraint(idx, val, lp.EQ, supply)
+		}
+	}
+	// Shared capacities on real arcs.
+	for e := 0; e < m; e++ {
+		c := g.Arc(e).Cap
+		if math.IsInf(c, 1) {
+			continue
+		}
+		idx := make([]int, nc)
+		val := make([]float64, nc)
+		for k := 0; k < nc; k++ {
+			idx[k], val[k] = fIdx(k, e), 1
+		}
+		p.AddConstraint(idx, val, lp.LE, c)
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("routing: multicommodity LP: %w", err)
+	}
+	flows := make([][]float64, nc)
+	for k := 0; k < nc; k++ {
+		flows[k] = make([]float64, m)
+		for e := 0; e < m; e++ {
+			if v := sol.X[fIdx(k, e)]; v > 1e-9 {
+				flows[k][e] = v
+			}
+		}
+	}
+	return flows, nil
+}

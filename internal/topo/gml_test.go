@@ -1,0 +1,109 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleGML = `
+graph [
+  label "toy"
+  node [
+    id 0
+    label "NYC"
+    Longitude -74.0
+  ]
+  node [
+    id 2
+    label "CHI"
+  ]
+  node [
+    id 5
+    label "SEA"
+  ]
+  node [
+    id 7
+    label "LAX"
+  ]
+  edge [
+    source 0
+    target 2
+    LinkSpeed "1.0"
+  ]
+  edge [
+    source 2
+    target 5
+  ]
+  edge [
+    source 5
+    target 0
+  ]
+  edge [
+    source 5
+    target 0
+  ]
+  edge [
+    source 7
+    target 5
+  ]
+  edge [
+    source 7
+    target 7
+  ]
+]
+`
+
+func TestParseGML(t *testing.T) {
+	n, err := ParseGML(strings.NewReader(sampleGML), "toy", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.G.NumNodes() != 4 {
+		t.Errorf("nodes = %d, want 4", n.G.NumNodes())
+	}
+	// 4 distinct undirected links (duplicate 5-0 collapsed, self-loop
+	// 7-7 dropped) -> 8 arcs.
+	if n.G.NumArcs() != 8 {
+		t.Errorf("arcs = %d, want 8", n.G.NumArcs())
+	}
+	if !n.G.Connected() {
+		t.Error("parsed graph disconnected")
+	}
+	// Node with GML id 7 (dense 3) has degree 1 -> origin.
+	if got := n.G.UndirectedDegree(n.Origin); got != 1 {
+		t.Errorf("origin degree = %d, want 1", got)
+	}
+	if len(n.Edges) != 2 {
+		t.Errorf("edge nodes = %d, want 2", len(n.Edges))
+	}
+}
+
+func TestParseGMLErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"no nodes":     "graph [ edge [ source 0 target 1 ] ]",
+		"bad edge":     "graph [ node [ id 0 ] node [ id 1 ] edge [ source 0 ] ]",
+		"unknown node": "graph [ node [ id 0 ] node [ id 1 ] edge [ source 0 target 9 ] ]",
+		"disconnected": "graph [ node [ id 0 ] node [ id 1 ] node [ id 2 ] node [ id 3 ] edge [ source 0 target 1 ] edge [ source 2 target 3 ] ]",
+		"unbalanced":   "graph [ node [ id 0 ] ] ]",
+	}
+	for name, src := range cases {
+		if _, err := ParseGML(strings.NewReader(src), "x", 1); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestParseGMLRoundTripWithCosts(t *testing.T) {
+	// Parsed networks integrate with the cost/capacity helpers.
+	n, err := ParseGML(strings.NewReader(sampleGML), "toy", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetUniformCapacity(5)
+	for id := 0; id < n.G.NumArcs(); id++ {
+		if n.G.Arc(id).Cap != 5 {
+			t.Fatalf("capacity helper failed on parsed graph")
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package topo
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// quickParams are random valid Generate parameters.
+type quickParams struct {
+	nodes, links, edges int
+	seed                int64
+}
+
+// Generate implements quick.Generator.
+func (quickParams) Generate(rng *rand.Rand, size int) reflect.Value {
+	nodes := 8 + rng.Intn(40)
+	minLinks := nodes - 1
+	maxLinks := nodes * (nodes - 1) / 2
+	span := maxLinks - minLinks
+	if span > 3*nodes {
+		span = 3 * nodes // stay in the sparse regime of ISP maps
+	}
+	links := minLinks + rng.Intn(span+1)
+	edges := 1 + rng.Intn(nodes/4+1)
+	return reflect.ValueOf(quickParams{nodes: nodes, links: links, edges: edges, seed: rng.Int63()})
+}
+
+// Generated topologies always have the requested size, are connected, and
+// designate a lowest-degree origin distinct from the edge nodes.
+func TestQuickGenerateInvariants(t *testing.T) {
+	property := func(p quickParams) bool {
+		n, err := Generate("q", p.nodes, p.links, p.edges, p.seed)
+		if err != nil {
+			// Dense corner cases may legitimately fail; they must not
+			// produce a half-built network.
+			return n == nil
+		}
+		if n.G.NumNodes() != p.nodes || n.G.NumArcs() != 2*p.links {
+			return false
+		}
+		if !n.G.Connected() {
+			return false
+		}
+		if len(n.Edges) != p.edges {
+			return false
+		}
+		od := n.G.UndirectedDegree(n.Origin)
+		for v := 0; v < p.nodes; v++ {
+			if n.G.UndirectedDegree(v) < od {
+				return false
+			}
+		}
+		for _, e := range n.Edges {
+			if e == n.Origin {
+				return false
+			}
+		}
+		// Determinism: the same seed rebuilds the same arcs.
+		m, err := Generate("q", p.nodes, p.links, p.edges, p.seed)
+		if err != nil {
+			return false
+		}
+		for id := 0; id < n.G.NumArcs(); id++ {
+			if n.G.Arc(id) != m.G.Arc(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Cost assignment keeps every arc within its band and symmetric across
+// directions, for any seed.
+func TestQuickAssignCostsBands(t *testing.T) {
+	property := func(seed int64) bool {
+		n := Abovenet(1 + (seed&0xff)%7)
+		n.AssignCosts(rand.New(rand.NewSource(seed)), 100, 200, 1, 20)
+		for id := 0; id < n.G.NumArcs(); id++ {
+			a := n.G.Arc(id)
+			touches := a.From == n.Origin || a.To == n.Origin
+			if touches && (a.Cost < 100 || a.Cost > 200) {
+				return false
+			}
+			if !touches && (a.Cost < 1 || a.Cost > 20) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

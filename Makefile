@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test bench vet cover experiments examples clean
+.PHONY: all build test bench vet lint cover experiments examples clean
 
-all: build test
+all: build lint test
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,12 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific static analysis (float comparisons, RNG injection,
+# library panics, dropped errors, magic tolerances); see README
+# "Static analysis & invariants".
+lint: vet
+	$(GO) run ./cmd/jcrlint ./...
 
 cover:
 	$(GO) test -cover ./...

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// analyzer is one independently toggleable pass.
+type analyzer struct {
+	name string
+	doc  string
+	run  func(*Package) []Diagnostic
+}
+
+// allAnalyzers is the registry, in reporting order.
+var allAnalyzers = []*analyzer{
+	{"float-eq", "no ==/!= between floating-point operands outside approximate-equality helpers", runFloatEq},
+	{"global-rand", "no math/rand global-source functions; library RNGs must be injected or built by jcr/internal/rng", runGlobalRand},
+	{"lib-panic", "no panic in library packages except tagged programmer-error guards", runLibPanic},
+	{"err-drop", "no discarded error results from this module's own functions", runErrDrop},
+	{"tol-literal", "scientific-notation tolerance literals must be named package-level constants", runTolLiteral},
+}
+
+// Lint runs the selected analyzers over one package and applies the
+// suppression directives.
+func Lint(pkg *Package, analyzers []*analyzer) []Diagnostic {
+	dirs, malformed := collectDirectives(pkg)
+	diags := append([]Diagnostic(nil), malformed...)
+	for _, a := range analyzers {
+		for _, d := range a.run(pkg) {
+			if dirs.suppresses(d) {
+				continue
+			}
+			diags = append(diags, d)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

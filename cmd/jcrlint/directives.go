@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+)
+
+// directivePrefix starts a suppression comment:
+//
+//	//jcrlint:allow <analyzer>[,<analyzer>...]: <reason>
+//
+// The directive applies to findings on its own line (trailing comment) and
+// on the line immediately below it (comment-above style). The reason is
+// mandatory so every suppression is auditable; a directive without one is
+// reported as a finding itself.
+const directivePrefix = "//jcrlint:allow"
+
+// directives maps file -> line -> analyzers allowed on that line.
+type directives map[string]map[int]map[string]bool
+
+func (ds directives) suppresses(d Diagnostic) bool {
+	lines := ds[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	// Same line, or directive on the line above.
+	for _, ln := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		if lines[ln][d.Analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectDirectives scans every comment of the package for jcrlint:allow
+// directives. Malformed directives (unknown analyzer or missing reason)
+// are returned as diagnostics so they cannot silently suppress anything.
+func collectDirectives(pkg *Package) (directives, []Diagnostic) {
+	known := make(map[string]bool, len(allAnalyzers))
+	for _, a := range allAnalyzers {
+		known[a.name] = true
+	}
+	ds := directives{}
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				names, reason, ok := strings.Cut(rest, ":")
+				if !ok || strings.TrimSpace(reason) == "" {
+					bad = append(bad, Diagnostic{
+						Pos:      pos,
+						Analyzer: "directive",
+						Message:  "malformed jcrlint:allow directive: want //jcrlint:allow <analyzer>[,...]: <reason>",
+					})
+					continue
+				}
+				for _, name := range strings.Split(names, ",") {
+					name = strings.TrimSpace(name)
+					if !known[name] {
+						bad = append(bad, Diagnostic{
+							Pos:      pos,
+							Analyzer: "directive",
+							Message:  "jcrlint:allow names unknown analyzer " + strconv.Quote(name),
+						})
+						continue
+					}
+					lines := ds[pos.Filename]
+					if lines == nil {
+						lines = map[int]map[string]bool{}
+						ds[pos.Filename] = lines
+					}
+					if lines[pos.Line] == nil {
+						lines[pos.Line] = map[string]bool{}
+					}
+					lines[pos.Line][name] = true
+				}
+			}
+		}
+	}
+	return ds, bad
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// modulePath is the import-path prefix identifying this module's own
+// packages; err-drop only polices calls into these, where the repo
+// controls the contract that errors are meaningful and must be handled.
+const modulePath = "jcr"
+
+// runErrDrop flags discarded error results from calls to this module's own
+// functions: a call used as a bare statement (also behind go/defer) whose
+// signature returns an error, or an assignment that puts the error result
+// into the blank identifier.
+func runErrDrop(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	report := func(call *ast.CallExpr, how string) {
+		diags = append(diags, Diagnostic{
+			Pos:      pkg.Fset.Position(call.Pos()),
+			Analyzer: "err-drop",
+			Message:  fmt.Sprintf("%s error result of %s; handle it or document why it cannot fail", how, callName(call)),
+		})
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok && dropsModuleError(pkg, call) {
+					report(call, "discarded")
+				}
+			case *ast.GoStmt:
+				if dropsModuleError(pkg, st.Call) {
+					report(st.Call, "discarded (go statement)")
+				}
+			case *ast.DeferStmt:
+				if dropsModuleError(pkg, st.Call) {
+					report(st.Call, "discarded (deferred)")
+				}
+			case *ast.AssignStmt:
+				if len(st.Rhs) != 1 {
+					return true
+				}
+				call, ok := st.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				idx, isModule := moduleErrorIndex(pkg, call)
+				if !isModule || idx < 0 || idx >= len(st.Lhs) {
+					return true
+				}
+				if id, ok := st.Lhs[idx].(*ast.Ident); ok && id.Name == "_" {
+					report(call, "blanked")
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// dropsModuleError reports whether the call returns only an error (or an
+// error as its sole unreceived result set) from a module-own function.
+func dropsModuleError(pkg *Package, call *ast.CallExpr) bool {
+	idx, isModule := moduleErrorIndex(pkg, call)
+	return isModule && idx >= 0
+}
+
+// moduleErrorIndex returns the result index of the error return of a call
+// to one of this module's functions, and whether the callee is module-own.
+// The index is -1 when the callee returns no error.
+func moduleErrorIndex(pkg *Package, call *ast.CallExpr) (int, bool) {
+	callee := calleeObject(pkg, call)
+	if callee == nil || callee.Pkg() == nil {
+		return -1, false
+	}
+	path := callee.Pkg().Path()
+	if path != modulePath && !strings.HasPrefix(path, modulePath+"/") {
+		return -1, false
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return -1, true
+	}
+	res := sig.Results()
+	errType := types.Universe.Lookup("error").Type()
+	for i := res.Len() - 1; i >= 0; i-- {
+		if types.Identical(res.At(i).Type(), errType) {
+			return i, true
+		}
+	}
+	return -1, true
+}
+
+// calleeObject resolves the function or method object a call invokes, or
+// nil for conversions, builtins, and indirect calls through variables.
+func calleeObject(pkg *Package, call *ast.CallExpr) types.Object {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	obj := pkg.Info.Uses[id]
+	if _, ok := obj.(*types.Func); !ok {
+		return nil
+	}
+	return obj
+}
+
+// callName renders a readable callee name for diagnostics.
+func callName(call *ast.CallExpr) string {
+	return types.ExprString(call.Fun)
+}

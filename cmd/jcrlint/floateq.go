@@ -1,0 +1,120 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// approxHelperRE matches function names that are allowed to compare floats
+// exactly: the approximate-equality helpers themselves (approxEq,
+// AlmostEqual, ...), which need the raw comparison to implement the
+// tolerance check.
+var approxHelperRE = regexp.MustCompile(`(?i)(approx|almost)`)
+
+// runFloatEq flags == and != between floating-point operands. Exact float
+// equality is the classic silent-wrong-answer bug in simplex pivoting and
+// rounding code: values that are mathematically equal differ in the last
+// ulp after different operation orders. Exemptions:
+//
+//   - functions whose name matches approxHelperRE (the helpers themselves),
+//   - the NaN test `x != x` / `x == x` on an identical expression,
+//   - comparisons against math.Inf(...), which is exact by construction,
+//   - comparisons against the literal constant 0: zero is exactly
+//     representable and the solvers use it deliberately as an
+//     untouched-value / sparsity sentinel. The bug class is comparing two
+//     computed values, which agree mathematically but differ in the last
+//     ulp after different operation orders.
+func runFloatEq(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if approxHelperRE.MatchString(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if !isFloat(pkg, be.X) && !isFloat(pkg, be.Y) {
+					return true
+				}
+				if isMathInfCall(pkg, be.X) || isMathInfCall(pkg, be.Y) {
+					return true
+				}
+				if isZeroConst(pkg, be.X) || isZeroConst(pkg, be.Y) {
+					return true
+				}
+				if types.ExprString(be.X) == types.ExprString(be.Y) {
+					return true // NaN idiom
+				}
+				diags = append(diags, Diagnostic{
+					Pos:      pkg.Fset.Position(be.OpPos),
+					Analyzer: "float-eq",
+					Message: fmt.Sprintf("exact float comparison %s %s %s; use an approximate-equality helper with a named tolerance",
+						types.ExprString(be.X), be.Op, types.ExprString(be.Y)),
+				})
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// isFloat reports whether the expression has floating-point type.
+func isFloat(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isZeroConst reports whether e is a constant expression equal to zero.
+func isZeroConst(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+// isMathInfCall reports whether e is a direct call of math.Inf.
+func isMathInfCall(pkg *Package, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Inf" {
+		return false
+	}
+	return selectorPackage(pkg, sel) == "math"
+}
+
+// selectorPackage returns the import path of sel's receiver when it is a
+// package qualifier (e.g. "math" in math.Inf), and "" otherwise.
+func selectorPackage(pkg *Package, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}

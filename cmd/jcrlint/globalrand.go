@@ -1,0 +1,79 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// rngPackage is the one library package allowed to construct RNGs: it owns
+// the repo's seeding conventions, so every seed is auditable in one place.
+const rngPackage = "jcr/internal/rng"
+
+// hiddenSeedConstructors create generators with a seed invisible to the
+// caller; injectedConstructors wrap a *rand.Rand the caller already
+// controls. Anything else exported by math/rand draws from (or reseeds)
+// the shared global state.
+var (
+	hiddenSeedConstructors = map[string]bool{"New": true, "NewSource": true}
+	injectedConstructors   = map[string]bool{"NewZipf": true}
+)
+
+// runGlobalRand enforces seed reproducibility:
+//
+//  1. Calls to math/rand package-level functions that use the implicit
+//     global source (rand.Float64, rand.Intn, rand.Shuffle, ...) are
+//     forbidden everywhere: concurrent use makes every experiment
+//     unrepeatable regardless of seeding.
+//  2. In library (non-main) packages, even rand.New/rand.NewSource are
+//     forbidden outside jcr/internal/rng: a library that builds its own
+//     generator hides the seed from the caller. Accept an injected
+//     *rand.Rand, or build one from an explicit seed via internal/rng.
+func runGlobalRand(pkg *Package) []Diagnostic {
+	if pkg.Path == rngPackage {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path := selectorPackage(pkg, sel)
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			name := sel.Sel.Name
+			switch {
+			case injectedConstructors[name]:
+				return true
+			case hiddenSeedConstructors[name]:
+				if pkg.IsMain {
+					return true // main packages may seed their own RNG
+				}
+				diags = append(diags, Diagnostic{
+					Pos:      pkg.Fset.Position(call.Pos()),
+					Analyzer: "global-rand",
+					Message: fmt.Sprintf("library package constructs its own RNG with rand.%s; accept an injected *rand.Rand or use %s with an explicit seed",
+						name, rngPackage),
+				})
+			case strings.ToUpper(name[:1]) == name[:1]:
+				// Any other exported math/rand function operates on the
+				// global source.
+				diags = append(diags, Diagnostic{
+					Pos:      pkg.Fset.Position(call.Pos()),
+					Analyzer: "global-rand",
+					Message: fmt.Sprintf("rand.%s uses the global math/rand source; draw from an injected *rand.Rand instead",
+						name),
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}

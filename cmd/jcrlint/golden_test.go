@@ -1,0 +1,80 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestGolden lints one fixture package per analyzer and asserts the exact
+// diagnostics. Each fixture contains both a violation and a compliant
+// counterpart, so the goldens pin down what is flagged AND what is not.
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		fixture  string
+		analyzer string
+	}{
+		{"floateq", "float-eq"},
+		{"globalrand", "global-rand"},
+		{"libpanic", "lib-panic"},
+		{"errdrop", "err-drop"},
+		{"tolliteral", "tol-literal"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			got := lintFixture(t, tc.fixture, tc.analyzer)
+			goldenPath := filepath.Join("testdata", tc.fixture+".golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch for %s (run with -update to regenerate)\n--- got ---\n%s--- want ---\n%s", tc.fixture, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenNonEmpty guards against a silently broken loader: every
+// fixture deliberately contains at least one violation.
+func TestGoldenNonEmpty(t *testing.T) {
+	if lintFixture(t, "floateq", "float-eq") == "" {
+		t.Fatal("float-eq fixture produced no diagnostics; loader or analyzer broken")
+	}
+}
+
+func lintFixture(t *testing.T, fixture, analyzer string) string {
+	t.Helper()
+	pkgs, err := loadPackages([]string{"./testdata/src/" + fixture})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s loaded no packages", fixture)
+	}
+	selected, err := selectAnalyzers(analyzer, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, Lint(pkg, selected)...)
+	}
+	relativize(diags)
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

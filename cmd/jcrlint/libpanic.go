@@ -1,0 +1,41 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// runLibPanic flags panic calls in library (non-main) packages. A solver
+// library must report bad input as an error the caller can handle; a panic
+// is acceptable only as a guard against programmer error (corrupted
+// internal state, statically-impossible conditions) and must then carry a
+// `//jcrlint:allow lib-panic: <reason>` directive so every remaining panic
+// is deliberate and documented.
+func runLibPanic(pkg *Package) []Diagnostic {
+	if pkg.IsMain {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, ok := pkg.Info.Uses[id].(*types.Builtin); !ok {
+				return true // shadowed identifier, not the builtin
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      pkg.Fset.Position(call.Pos()),
+				Analyzer: "lib-panic",
+				Message:  "panic in library package; return an error, or tag a programmer-error guard with //jcrlint:allow lib-panic: <reason>",
+			})
+			return true
+		})
+	}
+	return diags
+}

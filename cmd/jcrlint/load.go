@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one type-checked package under analysis.
+type Package struct {
+	Path   string // import path
+	Name   string // package name ("main" for commands)
+	Dir    string
+	Fset   *token.FileSet
+	Files  []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+	IsMain bool
+}
+
+// listedPackage is the subset of `go list -json` output jcrlint needs.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Standard   bool
+	GoFiles    []string
+	Export     string
+	Module     *struct{ Path string }
+}
+
+// loadPackages expands the patterns with the go tool, parses each matched
+// package's non-test sources, and type-checks them against compiler export
+// data for their dependencies. It needs no tooling beyond the standard
+// library and the go command itself.
+func loadPackages(patterns []string) ([]*Package, error) {
+	// One `go list` walk resolves the target set and the export data of
+	// every dependency (stdlib included).
+	all, err := goList(append([]string{"-deps", "-export"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	targets, err := goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(all))
+	for _, p := range all {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("jcrlint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	var out []*Package
+	for _, lp := range targets {
+		if lp.Standard || lp.Module == nil {
+			continue // only this module's packages are analyzed
+		}
+		pkg, err := checkPackage(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// checkPackage parses and type-checks one package from source.
+func checkPackage(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("jcrlint: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("jcrlint: type-checking %s: %w", lp.ImportPath, err)
+	}
+	return &Package{
+		Path:   lp.ImportPath,
+		Name:   lp.Name,
+		Dir:    lp.Dir,
+		Fset:   fset,
+		Files:  files,
+		Types:  tpkg,
+		Info:   info,
+		IsMain: lp.Name == "main",
+	}, nil
+}
+
+// goList runs `go list -json` with the given extra arguments and decodes
+// the package stream.
+func goList(args []string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json=ImportPath,Name,Dir,Standard,GoFiles,Export,Module"}, args...)...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}

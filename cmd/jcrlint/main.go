@@ -1,0 +1,143 @@
+// Command jcrlint is the repository's custom static-analysis pass. It
+// enforces the numerical-correctness and reproducibility invariants that
+// generic linters cannot know about (see README, "Static analysis &
+// invariants"):
+//
+//	float-eq     no ==/!= between floating-point operands outside an
+//	             approximate-equality helper
+//	global-rand  no math/rand global-source functions; library packages
+//	             must use an injected *rand.Rand or jcr/internal/rng
+//	lib-panic    no panic in library packages except tagged
+//	             programmer-error guards
+//	err-drop     no discarded error results from this module's functions
+//	tol-literal  no inline scientific-notation tolerance literals; name
+//	             them as package-level constants
+//
+// Usage:
+//
+//	go run ./cmd/jcrlint [-disable a,b] [-only a,b] [packages...]
+//
+// With no package arguments it analyzes ./internal/... and ./cmd/... .
+// Only non-test Go files are analyzed: tests may legitimately use exact
+// comparisons, ad-hoc RNGs and panics.
+//
+// A finding is suppressed by a directive comment on the same line or the
+// line immediately above:
+//
+//	//jcrlint:allow <analyzer>[,<analyzer>...]: <reason>
+//
+// The reason is mandatory; a directive without one is itself reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("jcrlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		disable = fs.String("disable", "", "comma-separated analyzers to skip")
+		only    = fs.String("only", "", "comma-separated analyzers to run (default: all)")
+		list    = fs.Bool("list", false, "list analyzers and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range allAnalyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.name, a.doc)
+		}
+		return 0
+	}
+	selected, err := selectAnalyzers(*only, *disable)
+	if err != nil {
+		fmt.Fprintln(stderr, "jcrlint:", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./internal/...", "./cmd/..."}
+	}
+	pkgs, err := loadPackages(patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "jcrlint:", err)
+		return 2
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, Lint(pkg, selected)...)
+	}
+	relativize(diags)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "jcrlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// relativize rewrites diagnostic file names relative to the working
+// directory for readable output and stable golden files.
+func relativize(diags []Diagnostic) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return
+	}
+	for i := range diags {
+		if rel, err := filepath.Rel(cwd, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].Pos.Filename = rel
+		}
+	}
+}
+
+// selectAnalyzers resolves the -only/-disable flags against the registry.
+func selectAnalyzers(only, disable string) ([]*analyzer, error) {
+	byName := make(map[string]*analyzer, len(allAnalyzers))
+	for _, a := range allAnalyzers {
+		byName[a.name] = a
+	}
+	parse := func(csv string) (map[string]bool, error) {
+		set := map[string]bool{}
+		if csv == "" {
+			return set, nil
+		}
+		for _, name := range strings.Split(csv, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := byName[name]; !ok {
+				return nil, fmt.Errorf("unknown analyzer %q", name)
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	onlySet, err := parse(only)
+	if err != nil {
+		return nil, err
+	}
+	disableSet, err := parse(disable)
+	if err != nil {
+		return nil, err
+	}
+	var out []*analyzer
+	for _, a := range allAnalyzers {
+		if len(onlySet) > 0 && !onlySet[a.name] {
+			continue
+		}
+		if disableSet[a.name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

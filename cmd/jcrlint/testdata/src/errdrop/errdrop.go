@@ -1,0 +1,26 @@
+// Package errdrop is a jcrlint golden-test fixture for the err-drop
+// analyzer: discarded error results from the module's own functions.
+package errdrop
+
+import "errors"
+
+func fail() error { return errors.New("boom") }
+
+// Bad drops the error result entirely (the violation).
+func Bad() {
+	fail()
+}
+
+// AlsoBad discards the error into the blank identifier (also a
+// violation: err-drop requires errors to be handled or returned).
+func AlsoBad() {
+	_ = fail()
+}
+
+// Good propagates the error (compliant).
+func Good() error {
+	if err := fail(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+// Package floateq is a jcrlint golden-test fixture for the float-eq
+// analyzer: one violating comparison and its compliant counterparts.
+package floateq
+
+const tol = 1e-9
+
+// Bad compares two computed floats exactly (the violation).
+func Bad(a, b float64) bool {
+	return a == b
+}
+
+// Good uses the approximate-equality helper (compliant).
+func Good(a, b float64) bool {
+	return approxEq(a, b)
+}
+
+// ZeroSentinel compares against the exact-zero sentinel (compliant:
+// zero is exactly representable and used as a deliberate marker).
+func ZeroSentinel(x float64) bool {
+	return x == 0
+}
+
+func approxEq(a, b float64) bool {
+	d := a - b
+	return d < tol && -d < tol
+}

@@ -1,0 +1,21 @@
+// Package globalrand is a jcrlint golden-test fixture for the global-rand
+// analyzer: global math/rand use and a hidden seed versus injection.
+package globalrand
+
+import "math/rand"
+
+// Bad draws from the global math/rand source (the violation).
+func Bad() float64 {
+	return rand.Float64()
+}
+
+// AlsoBad constructs a generator with a seed hidden inside a library
+// (both the constructor and its source are violations).
+func AlsoBad() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+// Good uses an injected generator (compliant).
+func Good(r *rand.Rand) float64 {
+	return r.Float64()
+}

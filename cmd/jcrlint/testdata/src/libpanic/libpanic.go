@@ -1,0 +1,18 @@
+// Package libpanic is a jcrlint golden-test fixture for the lib-panic
+// analyzer: an untagged library panic and a tagged programmer-error guard.
+package libpanic
+
+// Bad panics without the allowlist tag (the violation).
+func Bad(n int) {
+	if n < 0 {
+		panic("negative input")
+	}
+}
+
+// Good tags its guard with the documented allowlist comment (compliant).
+func Good(n int) {
+	if n < 0 {
+		//jcrlint:allow lib-panic: programmer-error guard; fixture demonstrates the allowlist convention
+		panic("negative input")
+	}
+}

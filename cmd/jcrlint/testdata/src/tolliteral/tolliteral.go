@@ -1,0 +1,17 @@
+// Package tolliteral is a jcrlint golden-test fixture for the tol-literal
+// analyzer: an inline magic tolerance versus a named constant.
+package tolliteral
+
+// eps is the sanctioned home for a tolerance: a named package-level
+// constant (compliant).
+const eps = 1e-9
+
+// Bad buries a magic tolerance literal in function code (the violation).
+func Bad(x float64) bool {
+	return x < 1e-9
+}
+
+// Good compares against the named constant (compliant).
+func Good(x float64) bool {
+	return x < eps
+}

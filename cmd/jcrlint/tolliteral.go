@@ -1,0 +1,46 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+)
+
+// tolLiteralRE matches scientific-notation literals with a negative
+// exponent (1e-9, 2.5E-12, ...) — the way numeric tolerances are written.
+// Plain decimals (0.5 damping factors, 2.0 scale factors) are not flagged.
+var tolLiteralRE = regexp.MustCompile(`^[0-9]+(?:\.[0-9]*)?[eE]-[0-9]+$`)
+
+// runTolLiteral flags tolerance-shaped float literals appearing inside
+// function bodies. Tolerances steer every feasibility and convergence
+// decision in the solvers; inlining them scatters magic numbers that
+// cannot be audited or tuned coherently. Declaring them as package-level
+// constants (where the analyzer allows them) keeps each package's
+// numerical slack reviewable in one block.
+func runTolLiteral(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			// Package-level const/var declarations are the sanctioned
+			// home for tolerances; only function bodies are policed.
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				lit, ok := n.(*ast.BasicLit)
+				if !ok || lit.Kind != token.FLOAT || !tolLiteralRE.MatchString(lit.Value) {
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Pos:      pkg.Fset.Position(lit.Pos()),
+					Analyzer: "tol-literal",
+					Message:  fmt.Sprintf("inline tolerance literal %s; name it as a package-level constant", lit.Value),
+				})
+				return true
+			})
+		}
+	}
+	return diags
+}

@@ -1,0 +1,193 @@
+// Package check provides runtime invariant validators for solver outputs:
+// every placement and routing solution the algorithms emit can be verified
+// against the feasibility constraints of the paper's Eq. (1) — cache
+// capacities (1f), flow conservation and full service (1b-1c), link
+// capacities (1d) — and against an independent recomputation of its
+// reported cost. The solver test suites (core, placement, msufp, flow,
+// exact) call these validators on every run, so a regression that produces
+// an infeasible or mispriced solution fails loudly instead of skewing
+// reproduced figures.
+package check
+
+import (
+	"fmt"
+	"math"
+
+	"jcr/internal/flow"
+	"jcr/internal/graph"
+	"jcr/internal/placement"
+)
+
+// Validation tolerances, named in one place so they are auditable
+// (enforced by jcrlint tol-literal).
+const (
+	// CapSlack absorbs floating-point residue when comparing cache
+	// occupancy or link load against a capacity (Eqs. 1d and 1f).
+	CapSlack = 1e-9
+	// RateTol is the relative tolerance on a request's total served rate
+	// versus its demand (Eq. 1b-1c full-service check).
+	RateTol = 1e-6
+	// CostTol is the relative tolerance when comparing a reported cost
+	// against its independent recomputation.
+	CostTol = 1e-6
+	// FlowTol is the relative tolerance (scaled by total demand) for
+	// per-node flow-conservation residues in arc-flow solutions.
+	FlowTol = 1e-6
+)
+
+// Placement verifies that pl is a feasible caching decision for s: the
+// stores matrix has the spec's dimensions, every pinned node stores the
+// whole catalog, and every non-pinned node's occupancy respects its cache
+// capacity (Eq. 1f).
+func Placement(s *placement.Spec, pl *placement.Placement) error {
+	n := s.G.NumNodes()
+	if len(pl.Stores) != n {
+		return fmt.Errorf("check: placement covers %d nodes, spec has %d", len(pl.Stores), n)
+	}
+	for v, row := range pl.Stores {
+		if len(row) != s.NumItems {
+			return fmt.Errorf("check: node %d stores %d item slots, catalog has %d", v, len(row), s.NumItems)
+		}
+	}
+	for _, v := range s.Pinned {
+		for i := 0; i < s.NumItems; i++ {
+			if !pl.Stores[v][i] {
+				return fmt.Errorf("check: pinned node %d does not store item %d", v, i)
+			}
+		}
+	}
+	for v := range pl.Stores {
+		if s.IsPinned(v) {
+			continue
+		}
+		if used := s.Occupancy(pl, v); used > s.CacheCap[v]+CapSlack {
+			return fmt.Errorf("check: node %d occupancy %.9g exceeds capacity %.9g (Eq. 1f)", v, used, s.CacheCap[v])
+		}
+	}
+	return nil
+}
+
+// Flow verifies that the serving paths are a feasible routing of s's
+// demands under pl: every path is a contiguous cycle-free walk ending at
+// its requester, originates the response at a node that stores the item,
+// serves each request's full demand (Eq. 1b-1c), and — unless
+// allowCongestion — keeps every link load within its capacity (Eq. 1d).
+// Rates must be non-negative, and no path may serve a zero-demand request.
+func Flow(s *placement.Spec, pl *placement.Placement, paths []placement.ServingPath, allowCongestion bool) error {
+	if err := Placement(s, pl); err != nil {
+		return err
+	}
+	served := map[placement.Request]float64{}
+	for k := range paths {
+		sp := &paths[k]
+		rq := sp.Req
+		if rq.Item < 0 || rq.Item >= s.NumItems || rq.Node < 0 || rq.Node >= s.G.NumNodes() {
+			return fmt.Errorf("check: serving path %d references request (%d,%d) out of range", k, rq.Item, rq.Node)
+		}
+		if sp.Rate < 0 || math.IsNaN(sp.Rate) {
+			return fmt.Errorf("check: serving path %d has invalid rate %v", k, sp.Rate)
+		}
+		if len(sp.Path.Arcs) == 0 {
+			// Local hit: the requester itself must store the item.
+			if !pl.Stores[rq.Node][rq.Item] {
+				return fmt.Errorf("check: empty path for request (%d,%d) but requester stores no replica", rq.Item, rq.Node)
+			}
+		} else {
+			if err := sp.Path.Validate(s.G, sp.Path.Source(s.G), rq.Node); err != nil {
+				return fmt.Errorf("check: serving path %d for request (%d,%d): %w", k, rq.Item, rq.Node, err)
+			}
+			stored := false
+			for _, v := range sp.Path.Nodes(s.G) {
+				if pl.Stores[v][rq.Item] {
+					stored = true
+					break
+				}
+			}
+			if !stored {
+				return fmt.Errorf("check: serving path %d for request (%d,%d) touches no replica", k, rq.Item, rq.Node)
+			}
+		}
+		served[rq] += sp.Rate
+	}
+	// Full service: each positive-rate request is served at its demand
+	// (Eq. 1b aggregated over the request's paths).
+	for _, rq := range s.Requests() {
+		want := s.Rates[rq.Item][rq.Node]
+		if got := served[rq]; math.Abs(got-want) > RateTol*(1+want) {
+			return fmt.Errorf("check: request (%d,%d) served at rate %.9g, demand %.9g", rq.Item, rq.Node, got, want)
+		}
+		delete(served, rq)
+	}
+	for rq, got := range served {
+		if got > RateTol {
+			return fmt.Errorf("check: request (%d,%d) served at rate %.9g but has no demand", rq.Item, rq.Node, got)
+		}
+	}
+	if !allowCongestion {
+		_, loads, _ := placement.EvaluateServing(s, paths, pl)
+		for id, load := range loads {
+			c := s.G.Arc(id).Cap
+			if math.IsInf(c, 1) || c <= 0 {
+				continue
+			}
+			if load > c*(1+CapSlack)+CapSlack {
+				return fmt.Errorf("check: arc %d load %.9g exceeds capacity %.9g (Eq. 1d)", id, load, c)
+			}
+		}
+	}
+	return nil
+}
+
+// Solution verifies a complete solution: the placement is feasible, the
+// serving paths are a feasible routing (congestion permitted, as in the
+// paper's evaluation), and the reported cost matches an independent
+// recomputation with placement.EvaluateServing semantics within CostTol.
+func Solution(s *placement.Spec, pl *placement.Placement, paths []placement.ServingPath, reportedCost float64) error {
+	if err := Flow(s, pl, paths, true); err != nil {
+		return err
+	}
+	cost, _, _ := placement.EvaluateServing(s, paths, pl)
+	if math.Abs(cost-reportedCost) > CostTol*(1+math.Abs(cost)) {
+		return fmt.Errorf("check: reported cost %.9g, recomputed %.9g", reportedCost, cost)
+	}
+	return nil
+}
+
+// ArcFlow verifies a single-source splittable arc flow: every arc flow is
+// non-negative and within the arc's capacity (unless allowCongestion), and
+// flow is conserved at every node — net outflow equals the total demand at
+// the source, minus the demand at each sink, and zero elsewhere (Eq.
+// 1b-1d in flow form). Conservation residues are tolerated up to FlowTol
+// scaled by the total demand.
+func ArcFlow(g *graph.Graph, arcFlow []float64, src graph.NodeID, demand map[graph.NodeID]float64, allowCongestion bool) error {
+	if len(arcFlow) != g.NumArcs() {
+		return fmt.Errorf("check: arc flow has %d entries for %d arcs", len(arcFlow), g.NumArcs())
+	}
+	var total float64
+	for _, d := range demand {
+		total += d
+	}
+	tol := FlowTol * (1 + total)
+	for id, f := range arcFlow {
+		if f < -tol || math.IsNaN(f) {
+			return fmt.Errorf("check: arc %d carries invalid flow %.9g", id, f)
+		}
+		c := g.Arc(id).Cap
+		if allowCongestion || math.IsInf(c, 1) || c <= 0 {
+			continue
+		}
+		if f > c*(1+CapSlack)+tol {
+			return fmt.Errorf("check: arc %d flow %.9g exceeds capacity %.9g (Eq. 1d)", id, f, c)
+		}
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		want := -demand[v]
+		if v == src {
+			want += total
+		}
+		if net := flow.NetOutflow(g, arcFlow, v); math.Abs(net-want) > tol {
+			return fmt.Errorf("check: node %d net outflow %.9g, want %.9g (Eq. 1b-1c)", v, net, want)
+		}
+	}
+	return nil
+}

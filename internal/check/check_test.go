@@ -1,0 +1,171 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"jcr/internal/graph"
+	"jcr/internal/placement"
+)
+
+// lineSpec builds a 3-node line 0 -> 1 -> 2 with the origin pinned at node
+// 0, one cache slot at node 1, and a demand of 2 for item 0 at node 2.
+func lineSpec(linkCap float64) (*placement.Spec, []graph.ArcID) {
+	g := graph.New(3)
+	a01 := g.AddArc(0, 1, 1, linkCap)
+	a12 := g.AddArc(1, 2, 1, linkCap)
+	rates := [][]float64{{0, 0, 2}, {0, 0, 0}}
+	s := &placement.Spec{
+		G:        g,
+		NumItems: 2,
+		CacheCap: []float64{0, 1, 0},
+		Pinned:   []graph.NodeID{0},
+		Rates:    rates,
+	}
+	return s, []graph.ArcID{a01, a12}
+}
+
+func wantErr(t *testing.T, err error, frag string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("expected error containing %q, got nil", frag)
+	}
+	if !strings.Contains(err.Error(), frag) {
+		t.Fatalf("error %q does not contain %q", err, frag)
+	}
+}
+
+func TestPlacementAcceptsFeasible(t *testing.T) {
+	s, _ := lineSpec(graph.Unlimited)
+	pl := s.NewPlacement()
+	pl.Stores[1][0] = true
+	if err := Placement(s, pl); err != nil {
+		t.Fatalf("feasible placement rejected: %v", err)
+	}
+}
+
+func TestPlacementRejectsOverCapacity(t *testing.T) {
+	s, _ := lineSpec(graph.Unlimited)
+	pl := s.NewPlacement()
+	pl.Stores[1][0] = true
+	pl.Stores[1][1] = true // capacity is 1
+	wantErr(t, Placement(s, pl), "Eq. 1f")
+}
+
+func TestPlacementRejectsMissingPin(t *testing.T) {
+	s, _ := lineSpec(graph.Unlimited)
+	pl := s.NewPlacement()
+	pl.Stores[0][1] = false
+	wantErr(t, Placement(s, pl), "pinned")
+}
+
+func TestPlacementRejectsWrongDims(t *testing.T) {
+	s, _ := lineSpec(graph.Unlimited)
+	pl := s.NewPlacement()
+	pl.Stores = pl.Stores[:2]
+	wantErr(t, Placement(s, pl), "covers")
+}
+
+func TestFlowAcceptsFeasible(t *testing.T) {
+	s, arcs := lineSpec(graph.Unlimited)
+	pl := s.NewPlacement()
+	paths := []placement.ServingPath{{
+		Req:  placement.Request{Item: 0, Node: 2},
+		Path: graph.Path{Arcs: arcs},
+		Rate: 2,
+	}}
+	if err := Flow(s, pl, paths, false); err != nil {
+		t.Fatalf("feasible routing rejected: %v", err)
+	}
+}
+
+func TestFlowRejectsUnderService(t *testing.T) {
+	s, arcs := lineSpec(graph.Unlimited)
+	pl := s.NewPlacement()
+	paths := []placement.ServingPath{{
+		Req:  placement.Request{Item: 0, Node: 2},
+		Path: graph.Path{Arcs: arcs},
+		Rate: 1, // demand is 2
+	}}
+	wantErr(t, Flow(s, pl, paths, false), "served at rate")
+}
+
+func TestFlowRejectsPathWithoutReplica(t *testing.T) {
+	s, arcs := lineSpec(graph.Unlimited)
+	pl := s.NewPlacement()
+	paths := []placement.ServingPath{{
+		Req:  placement.Request{Item: 0, Node: 2},
+		Path: graph.Path{Arcs: arcs[1:]}, // 1 -> 2, but node 1 caches nothing
+		Rate: 2,
+	}}
+	wantErr(t, Flow(s, pl, paths, false), "no replica")
+}
+
+func TestFlowRejectsBrokenPath(t *testing.T) {
+	s, arcs := lineSpec(graph.Unlimited)
+	pl := s.NewPlacement()
+	paths := []placement.ServingPath{{
+		Req:  placement.Request{Item: 0, Node: 2},
+		Path: graph.Path{Arcs: []graph.ArcID{arcs[1], arcs[0]}}, // not contiguous
+		Rate: 2,
+	}}
+	wantErr(t, Flow(s, pl, paths, false), "path")
+}
+
+func TestFlowRejectsCongestion(t *testing.T) {
+	s, arcs := lineSpec(1) // demand 2 over links of capacity 1
+	pl := s.NewPlacement()
+	paths := []placement.ServingPath{{
+		Req:  placement.Request{Item: 0, Node: 2},
+		Path: graph.Path{Arcs: arcs},
+		Rate: 2,
+	}}
+	wantErr(t, Flow(s, pl, paths, false), "Eq. 1d")
+	if err := Flow(s, pl, paths, true); err != nil {
+		t.Fatalf("allowCongestion should accept the overloaded routing: %v", err)
+	}
+}
+
+func TestSolutionRejectsWrongCost(t *testing.T) {
+	s, arcs := lineSpec(graph.Unlimited)
+	pl := s.NewPlacement()
+	paths := []placement.ServingPath{{
+		Req:  placement.Request{Item: 0, Node: 2},
+		Path: graph.Path{Arcs: arcs},
+		Rate: 2,
+	}}
+	// True cost: rate 2 over two unit-cost links = 4.
+	if err := Solution(s, pl, paths, 4); err != nil {
+		t.Fatalf("correct cost rejected: %v", err)
+	}
+	wantErr(t, Solution(s, pl, paths, 3), "reported cost")
+}
+
+func TestArcFlowAcceptsFeasible(t *testing.T) {
+	s, _ := lineSpec(2)
+	f := []float64{2, 2}
+	if err := ArcFlow(s.G, f, 0, map[graph.NodeID]float64{2: 2}, false); err != nil {
+		t.Fatalf("feasible flow rejected: %v", err)
+	}
+}
+
+func TestArcFlowRejectsConservationViolation(t *testing.T) {
+	s, _ := lineSpec(graph.Unlimited)
+	f := []float64{2, 1} // node 1 absorbs a unit of flow
+	wantErr(t, ArcFlow(s.G, f, 0, map[graph.NodeID]float64{2: 2}, false), "net outflow")
+}
+
+func TestArcFlowRejectsOverCapacity(t *testing.T) {
+	s, _ := lineSpec(1)
+	f := []float64{2, 2}
+	wantErr(t, ArcFlow(s.G, f, 0, map[graph.NodeID]float64{2: 2}, false), "Eq. 1d")
+	if err := ArcFlow(s.G, f, 0, map[graph.NodeID]float64{2: 2}, true); err != nil {
+		t.Fatalf("allowCongestion should accept the overloaded flow: %v", err)
+	}
+}
+
+func TestArcFlowRejectsNegative(t *testing.T) {
+	s, _ := lineSpec(graph.Unlimited)
+	f := []float64{2, -2}
+	wantErr(t, ArcFlow(s.G, f, 0, map[graph.NodeID]float64{2: 2}, false), "invalid flow")
+}

@@ -10,7 +10,21 @@ import (
 	"math/rand"
 
 	"jcr/internal/placement"
+	"jcr/internal/rng"
 	"jcr/internal/routing"
+)
+
+// Numerical tolerances. Every slack used by this package is named here so
+// the package's numerics are auditable in one place (enforced by jcrlint
+// tol-literal).
+const (
+	// improveTol is the relative cost margin below which an alternating
+	// round does not count as an improvement; it also breaks
+	// equal-cost ties on congestion.
+	improveTol = 1e-9
+	// serveTol is the relative slack allowed when checking that a
+	// request is served at its full rate.
+	serveTol = 1e-6
 )
 
 // Regime selects the integrality requirements of Eq. (1g)-(1h).
@@ -71,8 +85,12 @@ type AlternatingOptions struct {
 	// pinned-only placement (everything served by the origin), a
 	// trivially feasible solution.
 	Initial *placement.Placement
-	// Rng drives randomized rounding; nil uses a fixed seed.
+	// Rng drives randomized rounding. Nil builds a generator from Seed,
+	// so runs are bit-reproducible either way; see DESIGN.md ("Seeding").
 	Rng *rand.Rand
+	// Seed seeds the rounding generator when Rng is nil; zero means
+	// rng.DefaultSeed.
+	Seed int64
 }
 
 // Alternating runs the paper's alternating optimization: starting from a
@@ -89,7 +107,11 @@ func Alternating(s *placement.Spec, opts AlternatingOptions) (*Solution, error) 
 		opts.MaxIters = 10
 	}
 	if opts.Rng == nil {
-		opts.Rng = rand.New(rand.NewSource(1))
+		seed := opts.Seed
+		if seed == 0 {
+			seed = rng.DefaultSeed
+		}
+		opts.Rng = rng.New(seed)
 	}
 	ropts := opts.Routing
 	ropts.Fractional = opts.Fractional
@@ -117,8 +139,8 @@ func Alternating(s *placement.Spec, opts AlternatingOptions) (*Solution, error) 
 			return nil, fmt.Errorf("core: iteration %d routing: %w", iter, err)
 		}
 		best.Iterations = iter
-		improved := newRoute.Cost < best.Cost*(1-1e-9) ||
-			(newRoute.Cost <= best.Cost*(1+1e-9) && newRoute.MaxUtilization < best.MaxUtilization-1e-9)
+		improved := newRoute.Cost < best.Cost*(1-improveTol) ||
+			(newRoute.Cost <= best.Cost*(1+improveTol) && newRoute.MaxUtilization < best.MaxUtilization-improveTol)
 		if !improved {
 			break
 		}
@@ -142,7 +164,7 @@ func Validate(s *placement.Spec, sol *Solution) error {
 	}
 	for _, rq := range s.Requests() {
 		want := s.Rates[rq.Item][rq.Node]
-		if math.Abs(served[rq]-want) > 1e-6*(1+want) {
+		if math.Abs(served[rq]-want) > serveTol*(1+want) {
 			return fmt.Errorf("core: request %+v served %.6g of %.6g", rq, served[rq], want)
 		}
 	}

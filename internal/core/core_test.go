@@ -8,6 +8,7 @@ import (
 
 	"jcr/internal/lp"
 
+	"jcr/internal/check"
 	"jcr/internal/graph"
 	"jcr/internal/placement"
 	"jcr/internal/routing"
@@ -47,6 +48,9 @@ func TestAlternatingImprovesOverOriginOnly(t *testing.T) {
 	if err := Validate(s, sol); err != nil {
 		t.Fatal(err)
 	}
+	if err := check.Solution(s, sol.Placement, sol.Routing.Paths, sol.Cost); err != nil {
+		t.Fatal(err)
+	}
 	// Origin-only serving cost: every request traverses the expensive
 	// origin link.
 	pinnedOnly := s.NewPlacement()
@@ -77,6 +81,9 @@ func TestAlternatingCostNeverWorseThanInitial(t *testing.T) {
 				t.Fatalf("trial %d frac=%v: %v", trial, frac, err)
 			}
 			if err := Validate(s, sol); err != nil {
+				t.Fatalf("trial %d frac=%v: %v", trial, frac, err)
+			}
+			if err := check.Solution(s, sol.Placement, sol.Routing.Paths, sol.Cost); err != nil {
 				t.Fatalf("trial %d frac=%v: %v", trial, frac, err)
 			}
 			if sol.Cost > initRoute.Cost*(1+1e-9) {

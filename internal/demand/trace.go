@@ -3,6 +3,8 @@ package demand
 import (
 	"math"
 	"math/rand"
+
+	"jcr/internal/rng"
 )
 
 // Trace holds per-hour view counts: Views[h][v] is the number of views of
@@ -39,7 +41,7 @@ func (t *Trace) Series(v int) []float64 {
 // video's total views match Table 1 exactly (so all rate-derived constants
 // in Section 6, like the 0.7% default link capacity, match the paper).
 func SynthesizeTrace(videos []Video, hours int, seed int64) *Trace {
-	rng := rand.New(rand.NewSource(seed))
+	rng := rng.New(seed)
 	views := make([][]float64, hours)
 	for h := range views {
 		views[h] = make([]float64, len(videos))
@@ -79,7 +81,7 @@ func SynthesizeTrace(videos []Video, hours int, seed int64) *Trace {
 // a fraction of each video's mean hourly views so one knob spans videos of
 // very different popularity.
 func PerturbedTrace(t *Trace, from, to int, sigmaFrac float64, seed int64) *Trace {
-	rng := rand.New(rand.NewSource(seed))
+	rng := rng.New(seed)
 	nv := t.NumVideos()
 	mean := make([]float64, nv)
 	for h := from; h < to; h++ {

@@ -69,6 +69,10 @@ type Item struct {
 	Chunk int
 }
 
+// chunkCeilTol absorbs floating-point residue in the chunk-count ceiling
+// so an exact multiple of the chunk size is not rounded one chunk up.
+const chunkCeilTol = 1e-9
+
 // ChunkCatalog splits the videos into chunks of chunkMB megabytes each
 // (last chunk padded, per the paper's footnote 4) and returns one item per
 // chunk. With the default 100-MB chunks and the top-10 videos this yields
@@ -76,7 +80,7 @@ type Item struct {
 func ChunkCatalog(videos []Video, chunkMB float64) []Item {
 	var items []Item
 	for v, vid := range videos {
-		n := int((vid.SizeMB + chunkMB - 1e-9) / chunkMB)
+		n := int((vid.SizeMB + chunkMB - chunkCeilTol) / chunkMB)
 		if n < 1 {
 			n = 1
 		}

@@ -31,6 +31,10 @@ const (
 	maxRequests   = 12
 )
 
+// capSlack absorbs floating-point residue (relative and absolute) when
+// comparing occupancies and loads against cache and link capacities.
+const capSlack = 1e-9
+
 // Result is an exact optimum.
 type Result struct {
 	Cost      float64
@@ -137,7 +141,7 @@ func enumeratePlacements(s *placement.Spec, fn func(*placement.Placement) error)
 			return err
 		}
 		sl := slots[k]
-		if s.Size(sl.i) <= residual[sl.v]+1e-9 {
+		if s.Size(sl.i) <= residual[sl.v]+capSlack {
 			pl.Stores[sl.v][sl.i] = true
 			residual[sl.v] -= s.Size(sl.i)
 			if err := rec(k + 1); err != nil {
@@ -207,7 +211,7 @@ func bestIntegralRouting(s *placement.Spec, pl *placement.Placement, reqs []plac
 		for _, opt := range options[ri] {
 			ok := true
 			for _, id := range opt.arcs {
-				if load[id]+lam > s.G.Arc(id).Cap*(1+1e-9)+1e-9 {
+				if load[id]+lam > s.G.Arc(id).Cap*(1+capSlack)+capSlack {
 					ok = false
 					break
 				}

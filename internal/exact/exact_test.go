@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"jcr/internal/check"
 	"jcr/internal/core"
 	"jcr/internal/graph"
 	"jcr/internal/placement"
@@ -70,12 +71,18 @@ func TestExactHandMadeInstance(t *testing.T) {
 	if !icfr.Placement.Has(1, 0) {
 		t.Error("optimal placement should cache the hot item locally")
 	}
+	if err := check.Placement(s, icfr.Placement); err != nil {
+		t.Errorf("IC-FR placement violates Eq. 1f: %v", err)
+	}
 	icir, err := SolveICIR(s)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if math.Abs(icir.Cost-10) > 1e-6 {
 		t.Errorf("IC-IR optimum = %v, want 10", icir.Cost)
+	}
+	if err := check.Placement(s, icir.Placement); err != nil {
+		t.Errorf("IC-IR placement violates Eq. 1f: %v", err)
 	}
 }
 

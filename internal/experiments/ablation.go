@@ -2,13 +2,13 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 	"strings"
 	"time"
 
 	"jcr/internal/core"
 	"jcr/internal/graph"
 	"jcr/internal/placement"
+	"jcr/internal/rng"
 	"jcr/internal/routing"
 )
 
@@ -93,7 +93,7 @@ func Ablation(cfg *Config) (string, error) {
 	for _, trials := range []int{1, 5, 20} {
 		sol, err := core.Alternating(genRun.Decision, core.AlternatingOptions{
 			Routing: routing.Options{RoundingTrials: trials},
-			Rng:     rand.New(rand.NewSource(9)),
+			Rng:     rng.New(9),
 		})
 		if err != nil {
 			return "", err

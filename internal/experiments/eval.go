@@ -8,6 +8,10 @@ import (
 	"jcr/internal/placement"
 )
 
+// rateEps is the request rate below which a decided total is treated as
+// zero (the decision did not anticipate the request).
+const rateEps = 1e-12
+
 // EvaluateDecisionOnTruth measures the true cost and congestion of serving
 // the TRUE demand over the serving paths that were decided using the
 // (possibly predicted) decision demand. Each request's decided paths are
@@ -27,7 +31,7 @@ func EvaluateDecisionOnTruth(run *Run, pl *placement.Placement, decided []placem
 	var rnrTrees map[graph.NodeID]graph.ShortestTree
 	for _, rq := range truth.Requests() {
 		trueRate := truth.Rates[rq.Item][rq.Node]
-		if tot := decTotal[rq]; tot > 1e-12 {
+		if tot := decTotal[rq]; tot > rateEps {
 			for _, sp := range byReq[rq] {
 				paths = append(paths, placement.ServingPath{
 					Req:  rq,

@@ -11,6 +11,21 @@ type Series struct {
 	Name string
 	X    []float64
 	Y    []float64
+	// pos caches each axis key's index in X. Axis keys are produced by
+	// the same deterministic expression on every Monte-Carlo repetition,
+	// so they are matched bit-exactly (map equality) rather than by a
+	// tolerance.
+	pos map[float64]int
+}
+
+// column returns a bit-exact x -> y lookup for the series, used when
+// aligning several series on a shared axis.
+func (s *Series) column() map[float64]float64 {
+	col := make(map[float64]float64, len(s.X))
+	for i, x := range s.X {
+		col[x] = s.Y[i]
+	}
+	return col
 }
 
 // Figure is a reproduced table or figure: a set of series over a common
@@ -50,16 +65,17 @@ func (f *Figure) Render() string {
 	for _, s := range f.Series {
 		header = append(header, s.Name)
 	}
+	cols := make([]map[float64]float64, len(f.Series))
+	for j := range f.Series {
+		cols[j] = f.Series[j].column()
+	}
 	rows := [][]string{header}
 	for _, x := range xs {
 		row := []string{trimFloat(x)}
-		for _, s := range f.Series {
+		for j := range f.Series {
 			cell := "-"
-			for i := range s.X {
-				if s.X[i] == x {
-					cell = trimFloat(s.Y[i])
-					break
-				}
+			if y, ok := cols[j][x]; ok {
+				cell = trimFloat(y)
 			}
 			row = append(row, cell)
 		}
@@ -112,15 +128,16 @@ func (f *Figure) CSV() string {
 		}
 	}
 	sort.Float64s(xs)
+	cols := make([]map[float64]float64, len(f.Series))
+	for j := range f.Series {
+		cols[j] = f.Series[j].column()
+	}
 	for _, x := range xs {
 		fmt.Fprintf(&b, "%g", x)
-		for _, s := range f.Series {
+		for j := range f.Series {
 			b.WriteByte(',')
-			for i := range s.X {
-				if s.X[i] == x {
-					fmt.Fprintf(&b, "%g", s.Y[i])
-					break
-				}
+			if y, ok := cols[j][x]; ok {
+				fmt.Fprintf(&b, "%g", y)
 			}
 		}
 		b.WriteByte('\n')
@@ -178,14 +195,21 @@ func (c *collector) finish(samples int, notes ...string) {
 	c.fig.Notes = append(c.fig.Notes, notes...)
 }
 
-// addPoint accumulates y at x, creating the point on first use.
+// addPoint accumulates y at x, creating the point on first use. The axis
+// key is matched bit-exactly via the pos map (see the Series doc), not by
+// a tolerance.
 func (s *Series) addPoint(x, y float64) {
-	for i := range s.X {
-		if s.X[i] == x {
-			s.Y[i] += y
-			return
+	if s.pos == nil {
+		s.pos = make(map[float64]int, len(s.X))
+		for i, v := range s.X {
+			s.pos[v] = i
 		}
 	}
+	if i, ok := s.pos[x]; ok {
+		s.Y[i] += y
+		return
+	}
+	s.pos[x] = len(s.X)
 	s.X = append(s.X, x)
 	s.Y = append(s.Y, y)
 }

@@ -2,12 +2,12 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
 	"jcr/internal/demand"
 	"jcr/internal/gpr"
 	"jcr/internal/graph"
 	"jcr/internal/placement"
+	"jcr/internal/rng"
 	"jcr/internal/topo"
 )
 
@@ -44,8 +44,8 @@ func NewScenario(cfg *Config, net *topo.Network) *Scenario {
 	if net == nil {
 		net = topo.Abovenet(cfg.Seed)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 1000))
-	net.AssignCosts(rng, 100, 200, 1, 20)
+	costRng := rng.Derive(cfg.Seed, 1000)
+	net.AssignCosts(costRng, 100, 200, 1, 20)
 	videos := demand.TopVideos(cfg.NumVideos)
 	trace := demand.SynthesizeTrace(videos, cfg.TraceHours, cfg.Seed+2000)
 	return &Scenario{Cfg: cfg, Net: net, Videos: videos, Trace: trace, gprCache: map[[2]int]float64{}}
@@ -171,7 +171,7 @@ func (sc *Scenario) MakeRun(p RunParams) (*Run, error) {
 		Edges:  sc.Net.Edges,
 	}
 	nEdges := len(net.Edges)
-	spreadRng := rand.New(rand.NewSource(cfg.Seed + 40000 + p.MCSeed))
+	spreadRng := rng.Derive(cfg.Seed, 40000+p.MCSeed)
 	weights := make([][]float64, len(items))
 	for i := range weights {
 		weights[i] = make([]float64, nEdges)

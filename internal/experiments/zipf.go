@@ -2,11 +2,11 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
 	"jcr/internal/demand"
 	"jcr/internal/graph"
 	"jcr/internal/placement"
+	"jcr/internal/rng"
 	"jcr/internal/topo"
 )
 
@@ -30,7 +30,7 @@ func ZipfSweep(cfg *Config) ([]Figure, error) {
 		samples++
 		for _, alpha := range []float64{0.4, 0.8, 1.2} {
 			net := topo.Abovenet(cfg.Seed)
-			rng := rand.New(rand.NewSource(cfg.Seed + 500 + int64(mc)))
+			rng := rng.Derive(cfg.Seed, 500+int64(mc))
 			net.AssignCosts(rng, 100, 200, 1, 20)
 
 			pop := demand.Zipf(numItems, alpha)

@@ -39,7 +39,7 @@ func Decompose(g *graph.Graph, arcFlow []float64, src graph.NodeID, demand map[g
 	// on large instances (rates of ~1e6 requests/hour) does not read as
 	// missing flow.
 	tol := eps * (1 + total)
-	arcTol := 1e-12 * (1 + total)
+	arcTol := arcEpsRel * (1 + total)
 	var out []PathFlow
 	// visitStamp marks nodes on the current walk for cycle detection.
 	stamp := make([]int, g.NumNodes())

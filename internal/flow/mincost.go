@@ -17,7 +17,16 @@ import (
 // network's capacity between the endpoints.
 var ErrInsufficientCapacity = errors.New("flow: insufficient capacity")
 
-const eps = 1e-9
+const (
+	// eps is the flow magnitude below which a value counts as zero.
+	eps = 1e-9
+	// distTol is the strict-improvement margin for Dijkstra labels; it
+	// keeps float residue from re-relaxing settled nodes.
+	distTol = 1e-12
+	// arcEpsRel scales the per-arc zero threshold used by Decompose
+	// with the total demand.
+	arcEpsRel = 1e-12
+)
 
 // Result is a computed single-commodity flow.
 type Result struct {
@@ -141,7 +150,7 @@ func (r *resNet) dijkstra(src int, pot []float64) (dist []float64, parent []int)
 				// potentials keep true reduced costs nonnegative.
 				rc = 0
 			}
-			if nd := e.d + rc; nd < dist[w]-1e-12 {
+			if nd := e.d + rc; nd < dist[w]-distTol {
 				dist[w] = nd
 				parent[w] = a
 				push(hEnt{w, nd})

@@ -76,6 +76,10 @@ type Model struct {
 // ErrNoData reports an empty training set.
 var ErrNoData = errors.New("gpr: no training data")
 
+// jitter is added to the kernel diagonal (on top of the noise variance)
+// so the Cholesky factorization stays positive definite.
+const jitter = 1e-8
+
 // Fit conditions a GP with the given kernel and noise variance on the
 // observations (xs, ys).
 func Fit(kernel Kernel, noise float64, xs, ys []float64) (*Model, error) {
@@ -102,7 +106,7 @@ func Fit(kernel Kernel, noise float64, xs, ys []float64) (*Model, error) {
 			k[i*n+j] = v
 			k[j*n+i] = v
 		}
-		k[i*n+i] += noise + 1e-8 // jitter for numerical stability
+		k[i*n+i] += noise + jitter
 	}
 	chol, err := mat.Cholesky(k, n)
 	if err != nil {

@@ -67,9 +67,11 @@ func (g *Graph) AddNode() NodeID {
 // programming errors rather than runtime conditions.
 func (g *Graph) AddArc(from, to NodeID, cost, capacity float64) ArcID {
 	if from < 0 || from >= len(g.out) || to < 0 || to >= len(g.out) {
+		//jcrlint:allow lib-panic: programmer-error guard; callers construct IDs from NumNodes
 		panic(fmt.Sprintf("graph: arc endpoint out of range: (%d,%d) with %d nodes", from, to, len(g.out)))
 	}
 	if cost < 0 {
+		//jcrlint:allow lib-panic: programmer-error guard; external inputs are validated upstream (topo.ParseEdgeList)
 		panic(fmt.Sprintf("graph: negative arc cost %v", cost))
 	}
 	id := len(g.arcs)
@@ -104,6 +106,7 @@ func (g *Graph) SetArcCap(id ArcID, capacity float64) { g.arcs[id].Cap = capacit
 // SetArcCost overrides the cost of an arc.
 func (g *Graph) SetArcCost(id ArcID, cost float64) {
 	if cost < 0 {
+		//jcrlint:allow lib-panic: programmer-error guard; external inputs are validated upstream (topo.ParseEdgeList)
 		panic(fmt.Sprintf("graph: negative arc cost %v", cost))
 	}
 	g.arcs[id].Cost = cost

@@ -102,9 +102,11 @@ func (p *Problem) SetSense(s Sense) { p.sense = s }
 // exceed the upper bound; violations panic as they are programming errors.
 func (p *Problem) SetBounds(j int, lo, hi float64) {
 	if math.IsInf(lo, -1) || math.IsNaN(lo) || math.IsNaN(hi) {
+		//jcrlint:allow lib-panic: programmer-error guard; bounds are built from validated model data
 		panic(fmt.Sprintf("lp: lower bound of x_%d must be finite, got [%v, %v]", j, lo, hi))
 	}
 	if lo > hi {
+		//jcrlint:allow lib-panic: programmer-error guard; bounds are built from validated model data
 		panic(fmt.Sprintf("lp: empty bound interval [%v, %v] for x_%d", lo, hi, j))
 	}
 	p.lower[j] = lo
@@ -115,10 +117,12 @@ func (p *Problem) SetBounds(j int, lo, hi float64) {
 // The idx/val slices are copied. Repeated indices are summed.
 func (p *Problem) AddConstraint(idx []int, val []float64, op Op, rhs float64) {
 	if len(idx) != len(val) {
+		//jcrlint:allow lib-panic: programmer-error guard; a mismatched sparse row is a caller bug
 		panic("lp: AddConstraint index/value length mismatch")
 	}
 	for _, j := range idx {
 		if j < 0 || j >= p.nvars {
+			//jcrlint:allow lib-panic: programmer-error guard; variable indices come from the caller's own numbering
 			panic(fmt.Sprintf("lp: constraint references variable %d of %d", j, p.nvars))
 		}
 	}
@@ -134,6 +138,7 @@ func (p *Problem) AddConstraint(idx []int, val []float64, op Op, rhs float64) {
 // coefficient row of length NumVars.
 func (p *Problem) AddDenseConstraint(row []float64, op Op, rhs float64) {
 	if len(row) != p.nvars {
+		//jcrlint:allow lib-panic: programmer-error guard; a wrong-length dense row is a caller bug
 		panic("lp: dense constraint row has wrong length")
 	}
 	var idx []int
@@ -170,7 +175,8 @@ const (
 	pivotTol = 1e-9
 	feasTol  = 1e-7
 	costTol  = 1e-9
-	degenRun = 64 // consecutive degenerate pivots before Bland's rule
+	ratioTol = 1e-12 // ratio-test tie margin in the leaving-variable choice
+	degenRun = 64    // consecutive degenerate pivots before Bland's rule
 )
 
 // Solve runs the two-phase bounded-variable simplex method and returns an

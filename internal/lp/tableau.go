@@ -265,9 +265,9 @@ func (t *tableau) pivot(e int, bland bool) error {
 			lim = 0 // clamp tiny negative values from roundoff
 		}
 		switch {
-		case lim < tMax-1e-12:
+		case lim < tMax-ratioTol:
 			tMax, leave, leaveAtUpper = lim, i, hitsUpper
-		case lim <= tMax+1e-12 && leave >= 0 && t.tieBreak(bland, i, leave, e):
+		case lim <= tMax+ratioTol && leave >= 0 && t.tieBreak(bland, i, leave, e):
 			leave, leaveAtUpper = i, hitsUpper
 			if lim < tMax {
 				tMax = lim

@@ -130,7 +130,7 @@ func decomposePerCommodity(inst *Instance, arcFlow []float64) ([][]flow.PathFlow
 		pi := 0
 		for _, i := range ids {
 			need := inst.Commodities[i].Demand
-			tol := 1e-9 * (1 + need)
+			tol := splitTolRel * (1 + need)
 			for need > tol && pi < len(avail) {
 				take := avail[pi].Amount
 				if take > need {
@@ -143,7 +143,7 @@ func decomposePerCommodity(inst *Instance, arcFlow []float64) ([][]flow.PathFlow
 					pi++
 				}
 			}
-			if need > 1e-6*(1+inst.Commodities[i].Demand) {
+			if need > shortfallTolRel*(1+inst.Commodities[i].Demand) {
 				return nil, fmt.Errorf("msufp: commodity %d short by %.6g after decomposition", i, need)
 			}
 		}
@@ -166,7 +166,7 @@ func reduceToTarget(g *graph.Graph, pfs []flow.PathFlow, target float64) {
 		return pfs[a].Path.Cost(g) > pfs[b].Path.Cost(g)
 	})
 	for i := range pfs {
-		if excess <= 1e-12 {
+		if excess <= excessEps {
 			break
 		}
 		cut := pfs[i].Amount

@@ -144,7 +144,7 @@ func RoundDemand(lambda, lambdaMax float64, k int) float64 {
 // demandLevel returns L >= 1 such that the rounded demand is
 // lambdaMax * 2^(-L/K). Demands equal to lambdaMax use L=1 per Eq. (11).
 func demandLevel(lambda, lambdaMax float64, k int) int {
-	if lambda >= lambdaMax*(1-1e-12) {
+	if lambda >= lambdaMax*(1-topLevelTol) {
 		return 1
 	}
 	l := -int(math.Floor(float64(k) * math.Log2(lambda/lambdaMax)))

@@ -8,9 +8,28 @@ import (
 	"jcr/internal/graph"
 )
 
-// relTol is the relative tolerance for deciding that a flow value is an
-// integral multiple of the current demand level.
-const relTol = 1e-7
+// Numerical tolerances of the rounding pipeline, named in one place so
+// the package's numerics are auditable (enforced by jcrlint tol-literal).
+const (
+	// relTol is the relative tolerance for deciding that a flow value is
+	// an integral multiple of the current demand level.
+	relTol = 1e-7
+	// intTolAbs/intTolRel bound |v/d - round(v/d)| in isIntegralMultiple;
+	// see that function's comment for why the absolute term dominates.
+	intTolAbs = 1e-6
+	intTolRel = 1e-10
+	// splitTolRel is the relative slack when splitting decomposed path
+	// flows back across commodities.
+	splitTolRel = 1e-9
+	// shortfallTolRel is the relative shortfall beyond which a commodity
+	// counts as under-served after decomposition.
+	shortfallTolRel = 1e-6
+	// excessEps is the excess flow below which trimming stops.
+	excessEps = 1e-12
+	// topLevelTol guards the lambda == lambdaMax test in demandLevel
+	// against float residue.
+	topLevelTol = 1e-12
+)
 
 // UnsplittablePow2 implements the Lemma 4.6 subroutine ([33, Algorithm 2],
 // the Dinitz-Garg-Goemans/Skutella construction): given commodities whose
@@ -105,7 +124,7 @@ func UnsplittablePow2Residual(g *graph.Graph, src graph.NodeID, dests []graph.No
 // d itself on instances whose demands span several orders of magnitude.
 func isIntegralMultiple(v, d float64) bool {
 	r := v / d
-	return math.Abs(r-math.Round(r)) <= 1e-6+1e-10*math.Abs(r)
+	return math.Abs(r-math.Round(r)) <= intTolAbs+intTolRel*math.Abs(r)
 }
 
 // dIntegralize modifies f in place so every arc flow is an integral

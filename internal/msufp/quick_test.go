@@ -65,9 +65,6 @@ func TestQuickAlg2Theorem47(t *testing.T) {
 			return false
 		}
 		m := q.inst.Evaluate(asgn)
-		if m.Cost > split.Cost*(1+1e-6)+1e-9 {
-			return false
-		}
 		var lambdaMax float64
 		for _, c := range q.inst.Commodities {
 			if c.Demand > lambdaMax {
@@ -75,6 +72,12 @@ func TestQuickAlg2Theorem47(t *testing.T) {
 			}
 		}
 		pk := math.Pow(2, 1/float64(q.k))
+		// Cost bound: Lemma 4.6 bounds the path costs weighted by the
+		// ROUNDED demands by the splittable cost; routing the original
+		// demands loses at most the rounding factor 2^(1/K).
+		if m.Cost > pk*split.Cost*(1+1e-6)+1e-9 {
+			return false
+		}
 		additive := pk / (2 * (pk - 1)) * lambdaMax
 		for id, load := range m.Load {
 			if c := q.inst.G.Arc(id).Cap; load >= additive+pk*c+1e-6 {
@@ -83,7 +86,7 @@ func TestQuickAlg2Theorem47(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+	if err := quick.Check(property, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(1))}); err != nil {
 		t.Error(err)
 	}
 }
@@ -108,7 +111,7 @@ func TestQuickRoundingStability(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+	if err := quick.Check(property, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
 		t.Error(err)
 	}
 }

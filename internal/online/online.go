@@ -15,6 +15,10 @@ import (
 	"jcr/internal/placement"
 )
 
+// rateEps is the request rate below which a decided total is treated as
+// zero (the decision did not anticipate the request).
+const rateEps = 1e-12
+
 // Decision is one hour's chosen placement and serving paths.
 type Decision struct {
 	Placement *placement.Placement
@@ -142,7 +146,7 @@ func evaluateOnTruth(h HourInput, dec *Decision) (cost, cong float64, err error)
 	trees := map[graph.NodeID]graph.ShortestTree{}
 	for _, rq := range truth.Requests() {
 		lam := truth.Rates[rq.Item][rq.Node]
-		if tot := decTotal[rq]; tot > 1e-12 {
+		if tot := decTotal[rq]; tot > rateEps {
 			for _, sp := range byReq[rq] {
 				paths = append(paths, placement.ServingPath{Req: rq, Path: sp.Path, Rate: lam * sp.Rate / tot})
 			}

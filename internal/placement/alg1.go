@@ -147,7 +147,7 @@ func Alg1WithOptions(s *Spec, dist [][]float64, opts Alg1Options) (*Alg1Result, 
 		sort.Slice(cands, func(x, y int) bool { return cands[x].a > cands[y].a })
 		remaining := 1.0
 		for _, c := range cands {
-			if remaining <= 1e-12 {
+			if remaining <= gainEps {
 				break
 			}
 			cap_ := c.a // pinned: x=1
@@ -211,7 +211,7 @@ func pipageRound(x, weights []float64, cap_ float64) {
 	frac := func() (int, int) {
 		a := -1
 		for i, v := range x {
-			if v > 1e-9 && v < 1-1e-9 {
+			if v > fracTol && v < 1-fracTol {
 				if a < 0 {
 					a = i
 				} else {
@@ -242,9 +242,9 @@ func pipageRound(x, weights []float64, cap_ float64) {
 		x[j] = total - x[i]
 		// Snap near-integers to avoid float drift.
 		for _, k := range []int{i, j} {
-			if x[k] < 1e-9 {
+			if x[k] < fracTol {
 				x[k] = 0
-			} else if x[k] > 1-1e-9 {
+			} else if x[k] > 1-fracTol {
 				x[k] = 1
 			}
 		}
@@ -255,7 +255,7 @@ func pipageRound(x, weights []float64, cap_ float64) {
 	for _, v := range x {
 		used += v
 	}
-	if slack := int(cap_ - used + 1e-9); slack > 0 {
+	if slack := int(cap_ - used + capSlack); slack > 0 {
 		type pair struct {
 			i int
 			w float64

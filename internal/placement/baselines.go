@@ -191,7 +191,7 @@ func KSP3(s *Spec, origin graph.NodeID, k int, slotCap []float64) (*KSPResult, e
 		bestV, bestI := -1, -1
 		bestGain := 0.0
 		for _, v := range candidates {
-			if residual[v] < 1-1e-9 {
+			if residual[v] < 1-capSlack {
 				continue
 			}
 			for i := 0; i < s.NumItems; i++ {

@@ -70,7 +70,7 @@ func Greedy(s *Spec, dist [][]float64) (*GreedyResult, error) {
 		best := 0.0
 		for _, v := range candidates {
 			for i := 0; i < s.NumItems; i++ {
-				if pl.Stores[v][i] || s.Size(i) > residual[v]+1e-9 {
+				if pl.Stores[v][i] || s.Size(i) > residual[v]+capSlack {
 					continue
 				}
 				if d := delta(v, i); d > best {
@@ -152,7 +152,7 @@ func BruteForceBestSaving(s *Spec, dist [][]float64) float64 {
 		}
 		rec(k + 1)
 		sl := slots[k]
-		if s.Size(sl.i) <= residual[sl.v]+1e-9 {
+		if s.Size(sl.i) <= residual[sl.v]+capSlack {
 			pl.Stores[sl.v][sl.i] = true
 			residual[sl.v] -= s.Size(sl.i)
 			rec(k + 1)

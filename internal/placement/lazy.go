@@ -62,7 +62,7 @@ func GreedyLazy(s *Spec, dist [][]float64) (*GreedyResult, error) {
 	round := 0
 	for h.Len() > 0 {
 		top := h.items[0]
-		if s.Size(top.i) > residual[top.v]+1e-9 || pl.Stores[top.v][top.i] {
+		if s.Size(top.i) > residual[top.v]+capSlack || pl.Stores[top.v][top.i] {
 			heap.Pop(h) // can never be selected anymore
 			continue
 		}

@@ -187,7 +187,7 @@ func placePerPathGreedy(s *Spec, paths []ServingPath) (*Placement, error) {
 		best := 0.0
 		for _, v := range candidates {
 			for i := 0; i < s.NumItems; i++ {
-				if pl.Stores[v][i] || s.Size(i) > residual[v]+1e-9 {
+				if pl.Stores[v][i] || s.Size(i) > residual[v]+capSlack {
 					continue
 				}
 				if d := delta(v, i); d > best {
@@ -305,9 +305,9 @@ func placePerPathLP(s *Spec, paths []ServingPath) (*Placement, error) {
 		xFrac[vi] = make([]float64, s.NumItems)
 		for i := 0; i < s.NumItems; i++ {
 			x := sol.X[xIdx(vi, i)]
-			if x < 1e-9 {
+			if x < fracTol {
 				x = 0
-			} else if x > 1-1e-9 {
+			} else if x > 1-fracTol {
 				x = 1
 			}
 			xFrac[vi][i] = x
@@ -381,7 +381,7 @@ func pipageRoundWithDeriv(x [][]float64, vi int, cap_ float64, numItems int, der
 	for {
 		a, b := -1, -1
 		for i, v := range row {
-			if v > 1e-9 && v < 1-1e-9 {
+			if v > fracTol && v < 1-fracTol {
 				if a < 0 {
 					a = i
 				} else {
@@ -404,9 +404,9 @@ func pipageRoundWithDeriv(x [][]float64, vi int, cap_ float64, numItems int, der
 		row[a] = math.Min(1, total)
 		row[b] = total - row[a]
 		for _, k := range []int{a, b} {
-			if row[k] < 1e-9 {
+			if row[k] < fracTol {
 				row[k] = 0
-			} else if row[k] > 1-1e-9 {
+			} else if row[k] > 1-fracTol {
 				row[k] = 1
 			}
 		}
@@ -416,7 +416,7 @@ func pipageRoundWithDeriv(x [][]float64, vi int, cap_ float64, numItems int, der
 	for _, v := range row {
 		used += v
 	}
-	if slack := int(cap_ - used + 1e-9); slack > 0 {
+	if slack := int(cap_ - used + capSlack); slack > 0 {
 		type pair struct {
 			i int
 			d float64

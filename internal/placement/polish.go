@@ -68,10 +68,10 @@ func polishPlacement(s *Spec, dist [][]float64, wmax float64, pl *Placement, nod
 						used++
 					}
 				}
-				if used+1 > s.CacheCap[v]+1e-9 {
+				if used+1 > s.CacheCap[v]+capSlack {
 					break
 				}
-				bestI, bestG := -1, 1e-12
+				bestI, bestG := -1, gainEps
 				for i := 0; i < s.NumItems; i++ {
 					if pl.Stores[v][i] {
 						continue
@@ -89,7 +89,7 @@ func polishPlacement(s *Spec, dist [][]float64, wmax float64, pl *Placement, nod
 			// Best single swap at v: distinct items' request sets are
 			// disjoint, so net = gain(add) - loss(remove).
 			bestIn, bestOut := -1, -1
-			bestNet := 1e-9
+			bestNet := swapGainEps
 			for out := 0; out < s.NumItems; out++ {
 				if !pl.Stores[v][out] {
 					continue

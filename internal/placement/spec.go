@@ -15,6 +15,26 @@ import (
 	"jcr/internal/graph"
 )
 
+// Numerical tolerances shared across the package's placement algorithms,
+// named in one place so the package's numerics are auditable (enforced by
+// jcrlint tol-literal).
+const (
+	// capSlack absorbs floating-point residue when comparing cache
+	// occupancy or item sizes against capacities (Eq. 1f checks).
+	capSlack = 1e-9
+	// fracTol decides when a fractional LP value counts as exactly 0 or
+	// 1 during pipage rounding.
+	fracTol = 1e-9
+	// gainEps is the smallest gain treated as a strict improvement by
+	// the greedy and polishing passes; it also bounds leftover
+	// fractional mass treated as fully assigned.
+	gainEps = 1e-12
+	// swapGainEps is the minimum net saving for a polish swap to be
+	// applied; larger than gainEps because a swap perturbs two items and
+	// must clear float noise from both the gain and the loss estimate.
+	swapGainEps = 1e-9
+)
+
 // Spec describes a content-placement problem.
 type Spec struct {
 	// G is the network; arc capacities are ignored by placement (they
@@ -173,7 +193,7 @@ func (s *Spec) CheckFeasible(p *Placement) error {
 		if s.IsPinned(v) {
 			continue
 		}
-		if used := s.Occupancy(p, v); used > s.CacheCap[v]+1e-9 {
+		if used := s.Occupancy(p, v); used > s.CacheCap[v]+capSlack {
 			return fmt.Errorf("placement: node %d uses %.6g of capacity %.6g", v, used, s.CacheCap[v])
 		}
 	}

@@ -27,6 +27,7 @@ import (
 	"jcr/internal/graph"
 	"jcr/internal/lp"
 	"jcr/internal/placement"
+	"jcr/internal/rng"
 )
 
 // Method names reported in Result.Method.
@@ -34,6 +35,21 @@ const (
 	MethodIndependent = "independent"
 	MethodLP          = "lp"
 	MethodSequential  = "sequential"
+)
+
+// Numerical tolerances shared across the routing solver, named in one
+// place so the package's numerics are auditable (enforced by jcrlint
+// tol-literal).
+const (
+	// utilTol is the margin for comparing max-utilization values when
+	// ranking randomized-rounding trials.
+	utilTol = 1e-12
+	// capSlack absorbs floating-point residue when checking aggregated
+	// flow against link capacities (both relatively and absolutely).
+	capSlack = 1e-9
+	// flowEps is the flow value below which an LP arc flow is treated as
+	// zero when extracting per-commodity flows.
+	flowEps = 1e-9
 )
 
 // Options control the routing solver.
@@ -46,8 +62,12 @@ type Options struct {
 	// multicommodity LP; larger instances use the sequential heuristic.
 	// Zero means the default.
 	LPMaxVars int
-	// Rng drives randomized rounding; nil uses a fixed seed.
+	// Rng drives randomized rounding. Nil builds a generator from Seed,
+	// so runs are bit-reproducible either way; see DESIGN.md ("Seeding").
 	Rng *rand.Rand
+	// Seed seeds the rounding generator when Rng is nil; zero means
+	// rng.DefaultSeed.
+	Seed int64
 	// RoundingTrials is how many independent randomized roundings to
 	// draw under integral routing, keeping the one with the least
 	// congestion (ties broken by cost). Zero means the default of 5.
@@ -87,7 +107,11 @@ func Route(s *placement.Spec, pl *placement.Placement, opts Options) (*Result, e
 		opts.LPMaxVars = defaultLPMaxVars
 	}
 	if opts.Rng == nil {
-		opts.Rng = rand.New(rand.NewSource(1))
+		seed := opts.Seed
+		if seed == 0 {
+			seed = rng.DefaultSeed
+		}
+		opts.Rng = rng.New(seed)
 	}
 	if opts.RoundingTrials <= 0 {
 		opts.RoundingTrials = 5
@@ -192,8 +216,8 @@ func Route(s *placement.Spec, pl *placement.Placement, opts Options) (*Result, e
 		cost, loads, maxUtil := placement.EvaluateServing(s, paths, pl)
 		cand := &Result{Paths: paths, Cost: cost, Loads: loads, MaxUtilization: maxUtil, Method: method}
 		if best == nil ||
-			cand.MaxUtilization < best.MaxUtilization-1e-12 ||
-			(math.Abs(cand.MaxUtilization-best.MaxUtilization) <= 1e-12 && cand.Cost < best.Cost) {
+			cand.MaxUtilization < best.MaxUtilization-utilTol ||
+			(math.Abs(cand.MaxUtilization-best.MaxUtilization) <= utilTol && cand.Cost < best.Cost) {
 			best = cand
 		}
 	}
@@ -274,7 +298,7 @@ func splittableFlows(aux *graph.Auxiliary, active []itemDemand, opts Options) ([
 		}
 	}
 	for id, v := range agg {
-		if c := g.Arc(id).Cap; !math.IsInf(c, 1) && v > c*(1+1e-9)+1e-9 {
+		if c := g.Arc(id).Cap; !math.IsInf(c, 1) && v > c*(1+capSlack)+capSlack {
 			independentOK = false
 			break
 		}
@@ -421,7 +445,7 @@ func multicommodityLP(aux *graph.Auxiliary, active []itemDemand) ([][]float64, e
 	for k := 0; k < nc; k++ {
 		flows[k] = make([]float64, m)
 		for e := 0; e < m; e++ {
-			if v := sol.X[fIdx(k, e)]; v > 1e-9 {
+			if v := sol.X[fIdx(k, e)]; v > flowEps {
 				flows[k][e] = v
 			}
 		}

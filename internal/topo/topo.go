@@ -12,11 +12,13 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"strconv"
 	"strings"
 
 	"jcr/internal/graph"
+	"jcr/internal/rng"
 )
 
 // Network is an evaluation topology with its cache-placement designations.
@@ -63,7 +65,7 @@ func Generate(name string, nodes, links, numEdgeNodes int, seed int64) (*Network
 	if links > maxLinks {
 		return nil, fmt.Errorf("topo: %d links exceed simple-graph maximum %d", links, maxLinks)
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := rng.New(seed)
 	g := graph.New(nodes)
 	deg := make([]int, nodes)
 	adjacent := make(map[[2]int]bool)
@@ -186,7 +188,8 @@ func anyMissingUnreservedPair(nodes int, adjacent map[[2]int]bool, reserved map[
 func Abovenet(seed int64) *Network {
 	n, err := Generate("Abovenet", 23, 31, 9, seed)
 	if err != nil {
-		panic(err) // parameters are statically valid
+		//jcrlint:allow lib-panic: programmer-error guard; the canned parameters are statically valid
+		panic(err)
 	}
 	return n
 }
@@ -195,6 +198,7 @@ func Abovenet(seed int64) *Network {
 func Abvt(seed int64) *Network {
 	n, err := Generate("Abvt", 23, 31, 5, seed)
 	if err != nil {
+		//jcrlint:allow lib-panic: programmer-error guard; the canned parameters are statically valid
 		panic(err)
 	}
 	return n
@@ -204,6 +208,7 @@ func Abvt(seed int64) *Network {
 func Tinet(seed int64) *Network {
 	n, err := Generate("Tinet", 53, 89, 5, seed)
 	if err != nil {
+		//jcrlint:allow lib-panic: programmer-error guard; the canned parameters are statically valid
 		panic(err)
 	}
 	return n
@@ -213,6 +218,7 @@ func Tinet(seed int64) *Network {
 func Deltacom(seed int64) *Network {
 	n, err := Generate("Deltacom", 113, 161, 5, seed)
 	if err != nil {
+		//jcrlint:allow lib-panic: programmer-error guard; the canned parameters are statically valid
 		panic(err)
 	}
 	return n
@@ -346,6 +352,11 @@ func ParseEdgeList(r io.Reader, name string, numEdgeNodes int) (*Network, error)
 		if len(fields) >= 3 {
 			if l.cost, err = strconv.ParseFloat(fields[2], 64); err != nil {
 				return nil, fmt.Errorf("topo: line %d: bad cost %q", lineNo, fields[2])
+			}
+			// Validate here so malformed input files surface as errors
+			// rather than tripping graph.AddArc's programmer-error guard.
+			if l.cost < 0 || math.IsNaN(l.cost) {
+				return nil, fmt.Errorf("topo: line %d: cost %v must be non-negative", lineNo, l.cost)
 			}
 		}
 		if len(fields) >= 4 {

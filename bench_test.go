@@ -10,6 +10,7 @@
 package jcr
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -44,7 +45,7 @@ func runExperiment(b *testing.B, id string) {
 	cfg := benchConfig()
 	var out string
 	for i := 0; i < b.N; i++ {
-		out, err = e.Run(cfg)
+		out, err = e.Run(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -31,6 +31,7 @@ var allAnalyzers = []*analyzer{
 	{"lib-panic", "no panic in library packages except tagged programmer-error guards", runLibPanic},
 	{"err-drop", "no discarded error results from this module's own functions", runErrDrop},
 	{"tol-literal", "scientific-notation tolerance literals must be named package-level constants", runTolLiteral},
+	{"bg-context", "no context.Background()/context.TODO() in library packages; thread the caller's ctx", runBgContext},
 }
 
 // Lint runs the selected analyzers over one package and applies the

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// runBgContext keeps cancellation plumbed end to end: library (non-main)
+// packages must not mint their own root contexts with context.Background()
+// or context.TODO() — doing so detaches the work from the caller's
+// deadline, so a hung solver can no longer be cancelled. Library code
+// accepts a ctx parameter (nil meaning "no cancellation" by this repo's
+// convention) and threads it through; only main packages and tests create
+// roots.
+func runBgContext(pkg *Package) []Diagnostic {
+	if pkg.IsMain {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || selectorPackage(pkg, sel) != "context" {
+				return true
+			}
+			if name := sel.Sel.Name; name == "Background" || name == "TODO" {
+				diags = append(diags, Diagnostic{
+					Pos:      pkg.Fset.Position(call.Pos()),
+					Analyzer: "bg-context",
+					Message: fmt.Sprintf("library package creates a root context with context.%s; accept a ctx parameter (nil = no cancellation) and derive from it",
+						name),
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}

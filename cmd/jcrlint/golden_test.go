@@ -23,6 +23,7 @@ func TestGolden(t *testing.T) {
 		{"libpanic", "lib-panic"},
 		{"errdrop", "err-drop"},
 		{"tolliteral", "tol-literal"},
+		{"bgcontext", "bg-context"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {

@@ -12,6 +12,8 @@
 //	err-drop     no discarded error results from this module's functions
 //	tol-literal  no inline scientific-notation tolerance literals; name
 //	             them as package-level constants
+//	bg-context   no context.Background()/context.TODO() in library
+//	             packages; accept and thread the caller's ctx
 //
 // Usage:
 //

@@ -1,0 +1,29 @@
+// Package bgcontext is a jcrlint golden-test fixture for the bg-context
+// analyzer: library code minting root contexts versus threading a caller's.
+package bgcontext
+
+import "context"
+
+// Bad mints a root context inside a library (the violation): the caller's
+// deadline can no longer cancel the work below.
+func Bad() error {
+	ctx := context.Background()
+	return work(ctx)
+}
+
+// AlsoBad hides the postponed decision behind TODO (also a violation).
+func AlsoBad() error {
+	return work(context.TODO())
+}
+
+// Good threads the caller's context, deriving rather than minting
+// (compliant).
+func Good(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return work(ctx)
+}
+
+func work(ctx context.Context) error {
+	return ctx.Err()
+}

@@ -1,17 +1,26 @@
 // Command jcrsim runs the paper-reproduction experiments: every table and
-// figure of the evaluation (Section 6, Appendices C-D) by id.
+// figure of the evaluation (Section 6, Appendices C-D) by id, plus the
+// robustness extension (-exp fault) that degrades the network with seeded
+// link/cache failures while the online controller operates through them.
 //
 // Usage:
 //
 //	jcrsim -list
 //	jcrsim -exp fig5 [-mc 10] [-hours 10,40,70] [-seed 1]
+//	jcrsim -exp fault [-out results]
 //	jcrsim -exp all
+//
+// Experiments with figure data are archived as CSV under -out (default
+// results/); an empty -out disables archiving.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -20,47 +29,58 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "jcrsim:", err)
-		os.Exit(1)
-	}
+	os.Exit(run(context.Background(), os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() error {
+// run is the testable entry point: it parses args, executes, and returns
+// the process exit code.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("jcrsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		list  = flag.Bool("list", false, "list available experiments")
-		exp   = flag.String("exp", "", "experiment id to run, or 'all'")
-		mc    = flag.Int("mc", 0, "Monte-Carlo runs per data point (0 = default)")
-		hours = flag.String("hours", "", "comma-separated evaluation hours within the 100-hour window")
-		seed  = flag.Int64("seed", 0, "random seed (0 = default)")
-		k     = flag.Int("k", 0, "candidate paths for the [3] baseline (0 = default)")
-		csv   = flag.Bool("csv", false, "emit figure data as CSV instead of text tables")
+		list  = fs.Bool("list", false, "list available experiments")
+		exp   = fs.String("exp", "", "experiment id to run, or 'all'")
+		mc    = fs.Int("mc", 0, "Monte-Carlo runs per data point (0 = default)")
+		hours = fs.String("hours", "", "comma-separated evaluation hours within the 100-hour window")
+		seed  = fs.Int64("seed", 0, "random seed (0 = default)")
+		k     = fs.Int("k", 0, "candidate paths for the [3] baseline (0 = default)")
+		csv   = fs.Bool("csv", false, "emit figure data as CSV instead of text tables")
+		out   = fs.String("out", "results", "directory for CSV archives of figure data ('' = no archive)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := runMain(ctx, stdout, *list, *exp, *mc, *hours, *seed, *k, *csv, *out); err != nil {
+		fmt.Fprintln(stderr, "jcrsim:", err)
+		return 1
+	}
+	return 0
+}
 
-	if *list || *exp == "" {
-		fmt.Println("available experiments:")
+func runMain(ctx context.Context, stdout io.Writer, list bool, exp string, mc int, hours string, seed int64, k int, csv bool, out string) error {
+	if list || exp == "" {
+		fmt.Fprintln(stdout, "available experiments:")
 		for _, e := range experiments.Registry() {
-			fmt.Printf("  %-8s %s\n", e.ID, e.Description)
+			fmt.Fprintf(stdout, "  %-8s %s\n", e.ID, e.Description)
 		}
-		if *exp == "" && !*list {
+		if exp == "" && !list {
 			return fmt.Errorf("pass -exp <id> or -list")
 		}
 		return nil
 	}
 	cfg := experiments.DefaultConfig()
-	if *mc > 0 {
-		cfg.MonteCarloRuns = *mc
+	if mc > 0 {
+		cfg.MonteCarloRuns = mc
 	}
-	if *seed != 0 {
-		cfg.Seed = *seed
+	if seed != 0 {
+		cfg.Seed = seed
 	}
-	if *k > 0 {
-		cfg.CandidatePaths = *k
+	if k > 0 {
+		cfg.CandidatePaths = k
 	}
-	if *hours != "" {
+	if hours != "" {
 		cfg.Hours = nil
-		for _, part := range strings.Split(*hours, ",") {
+		for _, part := range strings.Split(hours, ",") {
 			h, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil {
 				return fmt.Errorf("bad -hours entry %q: %w", part, err)
@@ -68,7 +88,7 @@ func run() error {
 			cfg.Hours = append(cfg.Hours, h)
 		}
 	}
-	if *exp == "all" {
+	if exp == "all" {
 		type timing struct {
 			id      string
 			elapsed time.Duration
@@ -76,43 +96,73 @@ func run() error {
 		var timings []timing
 		for _, e := range experiments.Registry() {
 			start := time.Now()
-			out, err := e.Run(cfg)
+			text, err := e.Run(ctx, cfg)
 			if err != nil {
 				return fmt.Errorf("%s: %w", e.ID, err)
 			}
 			timings = append(timings, timing{e.ID, time.Since(start)})
-			fmt.Println(out)
+			fmt.Fprintln(stdout, text)
 		}
-		fmt.Println("== experiment wall times ==")
+		fmt.Fprintln(stdout, "== experiment wall times ==")
 		var total time.Duration
 		for _, tm := range timings {
-			fmt.Printf("  %-8s %8.2fs\n", tm.id, tm.elapsed.Seconds())
+			fmt.Fprintf(stdout, "  %-8s %8.2fs\n", tm.id, tm.elapsed.Seconds())
 			total += tm.elapsed
 		}
-		fmt.Printf("  %-8s %8.2fs\n", "total", total.Seconds())
+		fmt.Fprintf(stdout, "  %-8s %8.2fs\n", "total", total.Seconds())
 		return nil
 	}
-	e, err := experiments.Lookup(*exp)
+	e, err := experiments.Lookup(exp)
 	if err != nil {
 		return err
 	}
-	if *csv {
-		if e.Figures == nil {
+	if e.Figures == nil {
+		if csv {
 			return fmt.Errorf("experiment %q has no figure data for CSV export", e.ID)
 		}
-		figs, err := e.Figures(cfg)
+		text, err := e.Run(ctx, cfg)
 		if err != nil {
 			return err
 		}
-		for i := range figs {
-			fmt.Printf("# %s: %s\n%s\n", figs[i].ID, figs[i].Title, figs[i].CSV())
-		}
+		fmt.Fprintln(stdout, text)
 		return nil
 	}
-	out, err := e.Run(cfg)
+	// Figure experiments run once; the same data renders as text or CSV
+	// and is archived under -out.
+	figs, err := e.Figures(ctx, cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Println(out)
+	for i := range figs {
+		if csv {
+			fmt.Fprintf(stdout, "# %s: %s\n%s\n", figs[i].ID, figs[i].Title, figs[i].CSV())
+		} else {
+			fmt.Fprintln(stdout, figs[i].Render())
+		}
+	}
+	if out != "" {
+		path, err := archiveCSV(out, e.ID, cfg, figs)
+		if err != nil {
+			return fmt.Errorf("archiving %s: %w", e.ID, err)
+		}
+		fmt.Fprintf(stdout, "archived figure data to %s\n", path)
+	}
 	return nil
+}
+
+// archiveCSV writes the experiment's figure data to
+// <dir>/<id>_mc<N>_seed<S>.csv and returns the path.
+func archiveCSV(dir, id string, cfg *experiments.Config, figs []experiments.Figure) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s_mc%d_seed%d.csv", id, cfg.MonteCarloRuns, cfg.Seed))
+	var b strings.Builder
+	for i := range figs {
+		fmt.Fprintf(&b, "# %s: %s\n%s\n", figs[i].ID, figs[i].Title, figs[i].CSV())
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
 }

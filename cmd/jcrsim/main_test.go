@@ -1,0 +1,52 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestUnknownExperimentExitsNonZero(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run(context.Background(), []string{"-exp", "bogus"}, &out, &errOut)
+	if code == 0 {
+		t.Fatal("unknown -exp exited zero")
+	}
+	msg := errOut.String()
+	if !strings.Contains(msg, `unknown id "bogus"`) {
+		t.Errorf("stderr does not name the bad id: %q", msg)
+	}
+	// The error must enumerate the valid ids so the user can recover.
+	for _, id := range []string{"fig5", "online", "fault", "table1"} {
+		if !strings.Contains(msg, id) {
+			t.Errorf("stderr does not list valid id %q: %q", id, msg)
+		}
+	}
+}
+
+func TestListIncludesFault(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(context.Background(), []string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "fault") {
+		t.Errorf("-list omits the fault experiment:\n%s", out.String())
+	}
+}
+
+func TestBadFlagExitsNonZero(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(context.Background(), []string{"-nope"}, &out, &errOut); code == 0 {
+		t.Error("bad flag exited zero")
+	}
+}
+
+func TestNoArgsIsAnError(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(context.Background(), nil, &out, &errOut); code == 0 {
+		t.Error("no arguments exited zero")
+	}
+	if !strings.Contains(out.String(), "available experiments") {
+		t.Error("no-arg run does not print the experiment list")
+	}
+}

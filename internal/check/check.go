@@ -74,6 +74,17 @@ func Placement(s *placement.Spec, pl *placement.Placement) error {
 // allowCongestion — keeps every link load within its capacity (Eq. 1d).
 // Rates must be non-negative, and no path may serve a zero-demand request.
 func Flow(s *placement.Spec, pl *placement.Placement, paths []placement.ServingPath, allowCongestion bool) error {
+	return PartialFlow(s, pl, paths, nil, allowCongestion)
+}
+
+// PartialFlow is Flow for degraded operation: requests listed in unserved
+// are exempt from the full-service check (Eq. 1b-1c) as long as their
+// served rate plus declared unserved rate covers the demand. A nil or
+// empty unserved map makes it identical to Flow. Used to validate
+// best-effort routings on networks with failed links, where some demand is
+// legitimately unservable and must be declared rather than silently
+// dropped.
+func PartialFlow(s *placement.Spec, pl *placement.Placement, paths []placement.ServingPath, unserved map[placement.Request]float64, allowCongestion bool) error {
 	if err := Placement(s, pl); err != nil {
 		return err
 	}
@@ -110,13 +121,29 @@ func Flow(s *placement.Spec, pl *placement.Placement, paths []placement.ServingP
 		served[rq] += sp.Rate
 	}
 	// Full service: each positive-rate request is served at its demand
-	// (Eq. 1b aggregated over the request's paths).
+	// (Eq. 1b aggregated over the request's paths), with declared unserved
+	// rate counted toward the demand under degraded operation.
 	for _, rq := range s.Requests() {
 		want := s.Rates[rq.Item][rq.Node]
-		if got := served[rq]; math.Abs(got-want) > RateTol*(1+want) {
+		got := served[rq]
+		if u, ok := unserved[rq]; ok {
+			if u < 0 || math.IsNaN(u) {
+				return fmt.Errorf("check: request (%d,%d) declares invalid unserved rate %v", rq.Item, rq.Node, u)
+			}
+			got += u
+		}
+		if math.Abs(got-want) > RateTol*(1+want) {
 			return fmt.Errorf("check: request (%d,%d) served at rate %.9g, demand %.9g", rq.Item, rq.Node, got, want)
 		}
 		delete(served, rq)
+	}
+	for rq, u := range unserved {
+		if rq.Item < 0 || rq.Item >= s.NumItems || rq.Node < 0 || rq.Node >= s.G.NumNodes() {
+			return fmt.Errorf("check: unserved entry references request (%d,%d) out of range", rq.Item, rq.Node)
+		}
+		if s.Rates[rq.Item][rq.Node] <= 0 && u > RateTol {
+			return fmt.Errorf("check: request (%d,%d) declares unserved rate %.9g but has no demand", rq.Item, rq.Node, u)
+		}
 	}
 	for rq, got := range served {
 		if got > RateTol {

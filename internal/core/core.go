@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -100,6 +101,15 @@ type AlternatingOptions struct {
 // solution only when it improves cost (with congestion as tie-breaker), and
 // stopping at the first non-improving round or after MaxIters.
 func Alternating(s *placement.Spec, opts AlternatingOptions) (*Solution, error) {
+	return AlternatingContext(nil, s, opts)
+}
+
+// AlternatingContext is Alternating with cooperative cancellation: ctx is
+// threaded into both subproblem solvers (per-path placement and routing)
+// and polled between rounds, so a caller-imposed deadline stops the
+// optimizer mid-run instead of letting it finish all rounds. A nil ctx
+// means no cancellation (identical to Alternating).
+func AlternatingContext(ctx context.Context, s *placement.Spec, opts AlternatingOptions) (*Solution, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -122,19 +132,24 @@ func Alternating(s *placement.Spec, opts AlternatingOptions) (*Solution, error) 
 	if pl == nil {
 		pl = s.NewPlacement()
 	}
-	route, err := routing.Route(s, pl, ropts)
+	route, err := routing.RouteContext(ctx, s, pl, ropts)
 	if err != nil {
 		return nil, fmt.Errorf("core: initial routing: %w", err)
 	}
 	best := &Solution{Placement: pl, Routing: route, Cost: route.Cost, MaxUtilization: route.MaxUtilization}
 	for iter := 1; iter <= opts.MaxIters; iter++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: canceled before iteration %d: %w", iter, err)
+			}
+		}
 		// Placement step: the serving paths of the incumbent routing
 		// define F_{r,f}; fractional path rates are handled natively.
-		newPl, err := placement.PlacePerPath(s, best.Routing.Paths, opts.PlacementMethod)
+		newPl, err := placement.PlacePerPathContext(ctx, s, best.Routing.Paths, opts.PlacementMethod)
 		if err != nil {
 			return nil, fmt.Errorf("core: iteration %d placement: %w", iter, err)
 		}
-		newRoute, err := routing.Route(s, newPl, ropts)
+		newRoute, err := routing.RouteContext(ctx, s, newPl, ropts)
 		if err != nil {
 			return nil, fmt.Errorf("core: iteration %d routing: %w", iter, err)
 		}

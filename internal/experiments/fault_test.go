@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+// TestFaultFigureShape runs the robustness experiment at a small
+// configuration and checks the paper-level claims: the fault-free control
+// point serves everything, and the alternating policy's served fraction
+// dominates every baseline at every failure intensity.
+func TestFaultFigureShape(t *testing.T) {
+	figs, err := FigFault(context.Background(), tinyConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 4 {
+		t.Fatalf("fault returned %d figures, want 4", len(figs))
+	}
+	for i, id := range []string{"FaultA", "FaultB", "FaultC", "FaultD"} {
+		if figs[i].ID != id {
+			t.Errorf("figure %d id = %q, want %q", i, figs[i].ID, id)
+		}
+	}
+	served := &figs[2]
+	alt := findSeries(t, served, "alternating (warm start)")
+	for _, x := range faultIntensities {
+		for _, s := range served.Series {
+			if got, base := yAt(t, alt, x), yAt(t, &s, x); got < base-1e-9 {
+				t.Errorf("intensity %g: alternating serves %v < %s's %v", x, got, s.Name, base)
+			}
+		}
+	}
+	if got := yAt(t, alt, 0); got != 1 {
+		t.Errorf("fault-free served fraction = %v, want 1", got)
+	}
+	// Every series covers the whole intensity sweep.
+	for _, fig := range figs {
+		if len(fig.Series) != 4 {
+			t.Errorf("%s has %d series, want 4", fig.ID, len(fig.Series))
+		}
+		for _, s := range fig.Series {
+			if len(s.X) != len(faultIntensities) {
+				t.Errorf("%s series %q has %d points, want %d", fig.ID, s.Name, len(s.X), len(faultIntensities))
+			}
+		}
+	}
+	// The stale-hours figure must be finite and non-negative.
+	for _, s := range figs[3].Series {
+		for i, y := range s.Y {
+			if y < 0 {
+				t.Errorf("degraded hours %q at %v is negative: %v", s.Name, s.X[i], y)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -10,19 +11,20 @@ import (
 type Experiment struct {
 	ID          string
 	Description string
-	// Run executes the experiment and returns its rendered output.
-	Run func(cfg *Config) (string, error)
+	// Run executes the experiment and returns its rendered output. The
+	// context, when non-nil, cancels long runs between solver iterations.
+	Run func(ctx context.Context, cfg *Config) (string, error)
 	// Figures, when non-nil, returns the structured data behind the
 	// rendering (text tables render figure data; table experiments
 	// produce prose and leave this nil). Used for CSV export.
-	Figures func(cfg *Config) ([]Figure, error)
+	Figures func(ctx context.Context, cfg *Config) ([]Figure, error)
 }
 
 // Registry lists every reproduced table and figure by id.
 func Registry() []Experiment {
-	renderFigs := func(f func(*Config) ([]Figure, error)) func(*Config) (string, error) {
-		return func(cfg *Config) (string, error) {
-			figs, err := f(cfg)
+	renderFigs := func(f func(context.Context, *Config) ([]Figure, error)) func(context.Context, *Config) (string, error) {
+		return func(ctx context.Context, cfg *Config) (string, error) {
+			figs, err := f(ctx, cfg)
 			if err != nil {
 				return "", err
 			}
@@ -34,27 +36,36 @@ func Registry() []Experiment {
 			return b.String(), nil
 		}
 	}
-	fig4 := func(cfg *Config) ([]Figure, error) { return Fig4(cfg, 24, 12) }
-	onlineFigs := func(cfg *Config) ([]Figure, error) { return Online(cfg, 12) }
+	// The pre-fault experiments predate context plumbing: adapt them.
+	figs := func(f func(*Config) ([]Figure, error)) func(context.Context, *Config) ([]Figure, error) {
+		return func(_ context.Context, cfg *Config) ([]Figure, error) { return f(cfg) }
+	}
+	text := func(f func(*Config) (string, error)) func(context.Context, *Config) (string, error) {
+		return func(_ context.Context, cfg *Config) (string, error) { return f(cfg) }
+	}
+	fig4 := figs(func(cfg *Config) ([]Figure, error) { return Fig4(cfg, 24, 12) })
+	onlineFigs := figs(func(cfg *Config) ([]Figure, error) { return Online(cfg, 12) })
+	faultFigs := func(ctx context.Context, cfg *Config) ([]Figure, error) { return FigFault(ctx, cfg, 8) }
 	return []Experiment{
-		{ID: "table1", Description: "Table 1: video statistics", Run: func(*Config) (string, error) { return Table1(), nil }},
+		{ID: "table1", Description: "Table 1: video statistics", Run: text(func(*Config) (string, error) { return Table1(), nil })},
 		{ID: "fig4", Description: "Fig. 4: GPR demand prediction vs ground truth", Run: renderFigs(fig4), Figures: fig4},
-		{ID: "fig5", Description: "Fig. 5: unlimited link capacities (Alg. 1 / greedy vs [3], [38])", Run: renderFigs(Fig5), Figures: Fig5},
-		{ID: "fig6", Description: "Fig. 6: binary cache capacities (Alg. 2 vs [33], RNR, splittable)", Run: renderFigs(Fig6), Figures: Fig6},
-		{ID: "fig7", Description: "Fig. 7: general case, varying cache capacity", Run: renderFigs(Fig7), Figures: Fig7},
-		{ID: "fig8", Description: "Fig. 8: general case, varying link capacity", Run: renderFigs(Fig8), Figures: Fig8},
-		{ID: "table2", Description: "Table 2: qualitative summary (chunk level, IC-IR)", Run: Table2},
-		{ID: "table3", Description: "Table 3: execution times, chunk level", Run: func(cfg *Config) (string, error) { return ExecTimes(cfg, false) }},
-		{ID: "table4", Description: "Table 4: execution times, file level", Run: func(cfg *Config) (string, error) { return ExecTimes(cfg, true) }},
-		{ID: "fig11", Description: "Fig. 11: varying #videos", Run: renderFigs(Fig11), Figures: Fig11},
-		{ID: "fig12", Description: "Fig. 12: varying chunk size", Run: renderFigs(Fig12), Figures: Fig12},
-		{ID: "fig13", Description: "Fig. 13: varying prediction error", Run: renderFigs(Fig13), Figures: Fig13},
-		{ID: "fig15", Description: "Fig. 14-15: varying network topology", Run: renderFigs(Fig15), Figures: Fig15},
-		{ID: "table5", Description: "Table 5: topologies and parameters (Appendix D.4)", Run: Table5},
+		{ID: "fig5", Description: "Fig. 5: unlimited link capacities (Alg. 1 / greedy vs [3], [38])", Run: renderFigs(figs(Fig5)), Figures: figs(Fig5)},
+		{ID: "fig6", Description: "Fig. 6: binary cache capacities (Alg. 2 vs [33], RNR, splittable)", Run: renderFigs(figs(Fig6)), Figures: figs(Fig6)},
+		{ID: "fig7", Description: "Fig. 7: general case, varying cache capacity", Run: renderFigs(figs(Fig7)), Figures: figs(Fig7)},
+		{ID: "fig8", Description: "Fig. 8: general case, varying link capacity", Run: renderFigs(figs(Fig8)), Figures: figs(Fig8)},
+		{ID: "table2", Description: "Table 2: qualitative summary (chunk level, IC-IR)", Run: text(Table2)},
+		{ID: "table3", Description: "Table 3: execution times, chunk level", Run: text(func(cfg *Config) (string, error) { return ExecTimes(cfg, false) })},
+		{ID: "table4", Description: "Table 4: execution times, file level", Run: text(func(cfg *Config) (string, error) { return ExecTimes(cfg, true) })},
+		{ID: "fig11", Description: "Fig. 11: varying #videos", Run: renderFigs(figs(Fig11)), Figures: figs(Fig11)},
+		{ID: "fig12", Description: "Fig. 12: varying chunk size", Run: renderFigs(figs(Fig12)), Figures: figs(Fig12)},
+		{ID: "fig13", Description: "Fig. 13: varying prediction error", Run: renderFigs(figs(Fig13)), Figures: figs(Fig13)},
+		{ID: "fig15", Description: "Fig. 14-15: varying network topology", Run: renderFigs(figs(Fig15)), Figures: figs(Fig15)},
+		{ID: "table5", Description: "Table 5: topologies and parameters (Appendix D.4)", Run: text(Table5)},
 		{ID: "online", Description: "extension: hourly online operation with churn accounting", Run: renderFigs(onlineFigs), Figures: onlineFigs},
-		{ID: "regimes", Description: "extension: FC-FR / IC-FR / IC-IR exact regime comparison", Run: Regimes},
-		{ID: "zipf", Description: "extension: synthetic Zipf demand sweep (conference version)", Run: renderFigs(ZipfSweep), Figures: ZipfSweep},
-		{ID: "ablation", Description: "extension: ablations of implementation choices", Run: Ablation},
+		{ID: "fault", Description: "extension: robustness under link/cache failures and demand surges", Run: renderFigs(faultFigs), Figures: faultFigs},
+		{ID: "regimes", Description: "extension: FC-FR / IC-FR / IC-IR exact regime comparison", Run: text(Regimes)},
+		{ID: "zipf", Description: "extension: synthetic Zipf demand sweep (conference version)", Run: renderFigs(figs(ZipfSweep)), Figures: figs(ZipfSweep)},
+		{ID: "ablation", Description: "extension: ablations of implementation choices", Run: text(Ablation)},
 	}
 }
 

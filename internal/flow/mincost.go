@@ -6,6 +6,7 @@
 package flow
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -167,6 +168,16 @@ func (r *resNet) dijkstra(src int, pot []float64) (dist []float64, parent []int)
 // enforces. An infinite value ships as much as possible at minimum cost
 // (min-cost max-flow).
 func MinCostFlow(g *graph.Graph, src, dst graph.NodeID, value float64) (*Result, error) {
+	return MinCostFlowContext(nil, g, src, dst, value)
+}
+
+// MinCostFlowContext is MinCostFlow with cooperative cancellation: the
+// successive-shortest-path loop polls ctx before every augmentation and
+// aborts with an error wrapping ctx.Err() once the context is done, so a
+// caller-imposed deadline stops the solver between augmentations instead
+// of running the instance to completion. A nil ctx means no cancellation
+// (identical to MinCostFlow).
+func MinCostFlowContext(ctx context.Context, g *graph.Graph, src, dst graph.NodeID, value float64) (*Result, error) {
 	if src == dst {
 		return &Result{Arc: make([]float64, g.NumArcs())}, nil
 	}
@@ -180,6 +191,11 @@ func MinCostFlow(g *graph.Graph, src, dst graph.NodeID, value float64) (*Result,
 		tol = eps * (1 + value)
 	}
 	for remaining > tol {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("flow: canceled with %.6g units unshipped: %w", remaining, err)
+			}
+		}
 		dist, parent := r.dijkstra(src, pot)
 		if math.IsInf(dist[dst], 1) {
 			if math.IsInf(value, 1) {

@@ -16,6 +16,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -182,10 +183,20 @@ const (
 // Solve runs the two-phase bounded-variable simplex method and returns an
 // optimal solution, or ErrInfeasible / ErrUnbounded / ErrIterationLimit.
 func (p *Problem) Solve() (*Solution, error) {
+	return p.SolveContext(nil)
+}
+
+// SolveContext is Solve with cooperative cancellation: the pivot loop polls
+// ctx every ctxCheckPivots pivots and aborts with an error wrapping
+// ctx.Err() once the context is done, so a caller-imposed deadline actually
+// stops a numerically stuck instance instead of waiting out the pivot
+// limit. A nil ctx means no cancellation (identical to Solve).
+func (p *Problem) SolveContext(ctx context.Context) (*Solution, error) {
 	t, err := newTableau(p)
 	if err != nil {
 		return nil, err
 	}
+	t.ctx = ctx
 	if err := t.solve(); err != nil {
 		return nil, err
 	}

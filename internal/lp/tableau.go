@@ -1,6 +1,10 @@
 package lp
 
-import "math"
+import (
+	"context"
+	"fmt"
+	"math"
+)
 
 // tableau is the dense simplex working state. Variables are shifted so
 // every column has lower bound 0 and upper bound ub[j] (possibly +Inf).
@@ -25,7 +29,16 @@ type tableau struct {
 
 	pivots     int
 	degenerate int // consecutive degenerate pivots
+
+	// ctx, when non-nil, is polled every ctxCheckPivots pivots so a
+	// caller deadline stops the solver mid-run (see SolveContext).
+	ctx context.Context
 }
+
+// ctxCheckPivots is how many pivots run between cancellation polls: rare
+// enough that ctx.Err is off the hot path, frequent enough that a deadline
+// stops the solver within milliseconds.
+const ctxCheckPivots = 64
 
 func newTableau(p *Problem) (*tableau, error) {
 	m := len(p.cons)
@@ -189,6 +202,11 @@ func (t *tableau) solve() error {
 func (t *tableau) iterate() error {
 	maxPivots := 200*(t.m+t.n) + 20000
 	for t.pivots < maxPivots {
+		if t.ctx != nil && t.pivots%ctxCheckPivots == 0 {
+			if err := t.ctx.Err(); err != nil {
+				return fmt.Errorf("lp: canceled after %d pivots: %w", t.pivots, err)
+			}
+		}
 		bland := t.degenerate >= degenRun
 		e := t.chooseEntering(bland)
 		if e < 0 {

@@ -5,12 +5,25 @@
 // pluggable policy, and records per-hour routing cost, congestion, and
 // placement churn (items moved between consecutive hours - the operational
 // cost of re-optimizing that a one-shot evaluation cannot see).
+//
+// Beyond the strict replay (Simulate), Run hardens the hourly control loop
+// for degraded networks: each decision runs under a context deadline with
+// bounded retry, its output can be validated against the feasibility
+// invariants of internal/check, and any failure — timeout, solver error,
+// infeasible output — degrades gracefully to the last-known-good placement
+// with failed-link-aware nearest-replica rerouting instead of aborting the
+// simulation. Per-hour degradation state (decision source, retries,
+// unserved and unanticipated demand) is recorded in HourMetrics.
 package online
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
+	"time"
 
+	"jcr/internal/check"
 	"jcr/internal/graph"
 	"jcr/internal/placement"
 )
@@ -26,6 +39,11 @@ type Decision struct {
 	// the realized demand (requests the decision did not anticipate fall
 	// back to route-to-nearest-replica).
 	Paths []placement.ServingPath
+	// Unserved maps requests the decision knowingly leaves unserved
+	// (no replica reachable on the degraded network, reported by
+	// best-effort routing) to their decision-demand rate. Nil when the
+	// decision serves everything.
+	Unserved map[placement.Request]float64
 }
 
 // Policy decides one hour's placement and routing from the decision spec.
@@ -33,8 +51,39 @@ type Policy interface {
 	// Name labels the policy in results.
 	Name() string
 	// Decide computes the hour's decision; dist is the all-pairs
-	// least-cost matrix of spec.G.
-	Decide(spec *placement.Spec, dist [][]float64) (*Decision, error)
+	// least-cost matrix of spec.G. ctx, when non-nil, carries the
+	// decision deadline; a policy that honors it returns promptly once
+	// the deadline passes (the library solvers all do).
+	Decide(ctx context.Context, spec *placement.Spec, dist [][]float64) (*Decision, error)
+}
+
+// DecisionSource records where an hour's applied decision came from.
+type DecisionSource int
+
+// Decision sources.
+const (
+	// SourceFresh is a successful decision from the policy this hour.
+	SourceFresh DecisionSource = iota
+	// SourceStale means the policy failed (error, timeout, or invalid
+	// output) and the hour ran on the last-known-good placement with
+	// nearest-replica rerouting.
+	SourceStale
+	// SourceRepaired is a fresh decision immediately after one or more
+	// stale hours: the hour the controller recovered.
+	SourceRepaired
+)
+
+func (s DecisionSource) String() string {
+	switch s {
+	case SourceFresh:
+		return "fresh"
+	case SourceStale:
+		return "stale"
+	case SourceRepaired:
+		return "repaired"
+	default:
+		return fmt.Sprintf("DecisionSource(%d)", int(s))
+	}
 }
 
 // HourMetrics records one simulated hour.
@@ -45,6 +94,22 @@ type HourMetrics struct {
 	// Churn counts (node, item) cache entries that changed versus the
 	// previous hour's placement.
 	Churn int
+	// Demand is the total realized request rate of the hour.
+	Demand float64
+	// Unserved is the realized request rate the hour could not serve:
+	// no replica of the item was reachable from the requester on the
+	// (possibly degraded) network.
+	Unserved float64
+	// Unanticipated is the realized demand volume served through the
+	// nearest-replica fallback because the decision did not anticipate
+	// the request (its decided total was zero). Zero for stale hours,
+	// where the whole hour runs on fallback routing by construction.
+	Unanticipated float64
+	// Source records whether the hour ran on a fresh, stale, or
+	// just-repaired decision.
+	Source DecisionSource
+	// Retries counts failed Decide attempts before the applied one.
+	Retries int
 }
 
 // Series is a policy's full simulation record.
@@ -83,6 +148,57 @@ func (s *Series) TotalChurn() int {
 	return t
 }
 
+// ServedFraction is the demand-weighted fraction of realized demand the
+// simulation served (1 when there was no demand).
+func (s *Series) ServedFraction() float64 {
+	var demand, unserved float64
+	for _, h := range s.Hours {
+		demand += h.Demand
+		unserved += h.Unserved
+	}
+	if demand <= 0 {
+		return 1
+	}
+	return 1 - unserved/demand
+}
+
+// DegradedHours counts hours that ran on a stale decision.
+func (s *Series) DegradedHours() int {
+	n := 0
+	for _, h := range s.Hours {
+		if h.Source == SourceStale {
+			n++
+		}
+	}
+	return n
+}
+
+// LongestOutage is the length of the longest run of consecutive stale
+// hours: the worst-case recovery time of the control loop.
+func (s *Series) LongestOutage() int {
+	longest, run := 0, 0
+	for _, h := range s.Hours {
+		if h.Source == SourceStale {
+			run++
+			if run > longest {
+				longest = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	return longest
+}
+
+// TotalUnanticipated sums the unanticipated-demand volume across hours.
+func (s *Series) TotalUnanticipated() float64 {
+	var t float64
+	for _, h := range s.Hours {
+		t += h.Unanticipated
+	}
+	return t
+}
+
 // HourInput is one hour of workload: the demand the policy sees and the
 // demand that actually arrives, over a shared network.
 type HourInput struct {
@@ -92,28 +208,189 @@ type HourInput struct {
 	Dist     [][]float64
 }
 
-// Simulate runs the policy over the given hours.
+// Options harden the control loop of Run. The zero value reproduces
+// Simulate exactly: no deadline, no retries, no validation, abort on the
+// first policy error.
+type Options struct {
+	// Resilient degrades to the last-known-good placement with
+	// nearest-replica rerouting when a decision fails (error, timeout,
+	// or invalid output), instead of aborting the simulation. Unserved
+	// and unreachable demand is then accounted in HourMetrics rather
+	// than erroring.
+	Resilient bool
+	// DecideTimeout bounds each Decide attempt via a derived context
+	// deadline. Requires a non-nil parent context; zero means no
+	// deadline.
+	DecideTimeout time.Duration
+	// MaxRetries is how many times a failed Decide is retried before
+	// the hour is declared degraded (or the run aborts, if not
+	// Resilient).
+	MaxRetries int
+	// Backoff is the wait between retry attempts.
+	Backoff time.Duration
+	// Validate checks every fresh decision against the feasibility
+	// invariants (cache capacities, path integrity, declared-unserved
+	// service accounting) before applying it; an invalid decision is
+	// treated as a failed attempt.
+	Validate bool
+}
+
+// Simulate runs the policy over the given hours, aborting on the first
+// policy error (the strict historical behavior).
 func Simulate(policy Policy, hours []HourInput) (*Series, error) {
+	return Run(nil, policy, hours, Options{})
+}
+
+// Run walks the hours under the given hardening options. ctx, when
+// non-nil, cancels the whole simulation between hours and carries the
+// per-decision deadline of Options.DecideTimeout.
+func Run(ctx context.Context, policy Policy, hours []HourInput, opts Options) (*Series, error) {
+	if opts.DecideTimeout > 0 && ctx == nil {
+		return nil, errors.New("online: Options.DecideTimeout requires a non-nil context")
+	}
+	if opts.MaxRetries < 0 || opts.DecideTimeout < 0 || opts.Backoff < 0 {
+		return nil, fmt.Errorf("online: negative Options values: %+v", opts)
+	}
 	out := &Series{Policy: policy.Name()}
-	var prev *placement.Placement
+	var prev *placement.Placement     // previous hour's applied placement, for churn
+	var lastGood *placement.Placement // placement of the last fresh decision
+	stale := false
 	for _, h := range hours {
-		dec, err := policy.Decide(h.Decision, h.Dist)
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("online: %s at hour %d: %w", policy.Name(), h.Hour, err)
+			}
+		}
+		dec, retries, derr := decideWithRetry(ctx, policy, h, opts)
+		if derr == nil && opts.Validate {
+			if verr := validateDecision(h.Decision, dec); verr != nil {
+				derr = fmt.Errorf("invalid decision: %w", verr)
+			}
+		}
+		source := SourceFresh
+		if derr != nil {
+			if !opts.Resilient {
+				return nil, fmt.Errorf("online: %s at hour %d: %w", policy.Name(), h.Hour, derr)
+			}
+			dec = fallbackDecision(h, lastGood)
+			source = SourceStale
+		} else {
+			if stale {
+				source = SourceRepaired
+			}
+			lastGood = dec.Placement
+		}
+		stale = source == SourceStale
+
+		ev, err := evaluateOnTruth(h, dec, opts.Resilient)
 		if err != nil {
 			return nil, fmt.Errorf("online: %s at hour %d: %w", policy.Name(), h.Hour, err)
 		}
-		cost, cong, err := evaluateOnTruth(h, dec)
-		if err != nil {
-			return nil, fmt.Errorf("online: %s at hour %d: %w", policy.Name(), h.Hour, err)
+		unanticipated := ev.unanticipated
+		if source == SourceStale {
+			// A stale hour serves everything by fallback; the metric
+			// tracks prediction misses, not degraded operation.
+			unanticipated = 0
 		}
 		out.Hours = append(out.Hours, HourMetrics{
-			Hour:       h.Hour,
-			Cost:       cost,
-			Congestion: cong,
-			Churn:      churn(prev, dec.Placement),
+			Hour:          h.Hour,
+			Cost:          ev.cost,
+			Congestion:    ev.cong,
+			Churn:         churn(prev, dec.Placement),
+			Demand:        ev.demand,
+			Unserved:      ev.unserved,
+			Unanticipated: unanticipated,
+			Source:        source,
+			Retries:       retries,
 		})
 		prev = dec.Placement
 	}
 	return out, nil
+}
+
+// decideWithRetry runs Decide up to 1+MaxRetries times, each attempt under
+// its own DecideTimeout deadline, waiting Backoff between attempts. It
+// returns the number of failed attempts before the returned outcome.
+func decideWithRetry(ctx context.Context, policy Policy, h HourInput, opts Options) (*Decision, int, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 && opts.Backoff > 0 {
+			if err := sleep(ctx, opts.Backoff); err != nil {
+				return nil, attempt, lastErr
+			}
+		}
+		dec, err := decideOnce(ctx, policy, h, opts.DecideTimeout)
+		if err == nil {
+			return dec, attempt, nil
+		}
+		lastErr = err
+		if ctx != nil && ctx.Err() != nil {
+			// The simulation deadline itself (not just this attempt's)
+			// is gone; retrying cannot succeed.
+			return nil, attempt, lastErr
+		}
+		if attempt >= opts.MaxRetries {
+			return nil, attempt, lastErr
+		}
+	}
+}
+
+// decideOnce is one Decide attempt under its own deadline.
+func decideOnce(ctx context.Context, policy Policy, h HourInput, timeout time.Duration) (*Decision, error) {
+	dctx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	dec, err := policy.Decide(dctx, h.Decision, h.Dist)
+	if err != nil {
+		return nil, err
+	}
+	if dec == nil || dec.Placement == nil {
+		return nil, errors.New("policy returned no decision")
+	}
+	return dec, nil
+}
+
+// sleep waits d, or less if ctx is done first (returning its error).
+func sleep(ctx context.Context, d time.Duration) error {
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// validateDecision checks a fresh decision against the feasibility
+// invariants on the decision spec: cache capacities (Eq. 1f) and serving
+// integrity with declared-unserved accounting (Eq. 1b-1c; congestion is
+// permitted, as in the paper's evaluation).
+func validateDecision(spec *placement.Spec, dec *Decision) error {
+	return check.PartialFlow(spec, dec.Placement, dec.Paths, dec.Unserved, true)
+}
+
+// fallbackDecision builds the degraded hour's decision: the last-known-good
+// placement (or the pinned-only placement if no decision ever succeeded),
+// evicted down to the current — possibly degraded — cache capacities. It
+// carries no paths, so every request is served by nearest-replica routing
+// on the hour's distance matrix, which reflects the failed links.
+func fallbackDecision(h HourInput, lastGood *placement.Placement) *Decision {
+	var pl *placement.Placement
+	if lastGood != nil {
+		pl = lastGood.Clone()
+	} else {
+		pl = h.Decision.NewPlacement()
+	}
+	h.Decision.EvictToFit(pl)
+	return &Decision{Placement: pl}
 }
 
 // churn counts differing cache entries; the first hour has zero churn.
@@ -132,9 +409,20 @@ func churn(prev, cur *placement.Placement) int {
 	return n
 }
 
+// hourEval is the outcome of evaluating one hour's decision on the truth.
+type hourEval struct {
+	cost, cong                      float64
+	demand, unserved, unanticipated float64
+}
+
 // evaluateOnTruth rescales the decision's serving paths to the realized
-// demand, serving unanticipated requests from their nearest replica.
-func evaluateOnTruth(h HourInput, dec *Decision) (cost, cong float64, err error) {
+// demand, serving unanticipated requests from their nearest replica. With
+// bestEffort, demand with no reachable replica is accounted as unserved
+// instead of failing the hour (degraded networks legitimately strand
+// requesters); otherwise unreachable demand is an error, the strict
+// historical behavior.
+func evaluateOnTruth(h HourInput, dec *Decision, bestEffort bool) (hourEval, error) {
+	var ev hourEval
 	truth := h.Truth
 	byReq := map[placement.Request][]placement.ServingPath{}
 	decTotal := map[placement.Request]float64{}
@@ -146,6 +434,7 @@ func evaluateOnTruth(h HourInput, dec *Decision) (cost, cong float64, err error)
 	trees := map[graph.NodeID]graph.ShortestTree{}
 	for _, rq := range truth.Requests() {
 		lam := truth.Rates[rq.Item][rq.Node]
+		ev.demand += lam
 		if tot := decTotal[rq]; tot > rateEps {
 			for _, sp := range byReq[rq] {
 				paths = append(paths, placement.ServingPath{Req: rq, Path: sp.Path, Rate: lam * sp.Rate / tot})
@@ -159,7 +448,11 @@ func evaluateOnTruth(h HourInput, dec *Decision) (cost, cong float64, err error)
 			}
 		}
 		if best < 0 {
-			return 0, 0, fmt.Errorf("no replica for unanticipated request %+v", rq)
+			if bestEffort {
+				ev.unserved += lam
+				continue
+			}
+			return hourEval{}, fmt.Errorf("no replica for unanticipated request %+v", rq)
 		}
 		tree, ok := trees[best]
 		if !ok {
@@ -168,10 +461,20 @@ func evaluateOnTruth(h HourInput, dec *Decision) (cost, cong float64, err error)
 		}
 		p, ok := tree.PathTo(truth.G, rq.Node)
 		if !ok {
-			return 0, 0, fmt.Errorf("requester %d unreachable from replica %d", rq.Node, best)
+			if bestEffort {
+				ev.unserved += lam
+				continue
+			}
+			return hourEval{}, fmt.Errorf("requester %d unreachable from replica %d", rq.Node, best)
 		}
 		paths = append(paths, placement.ServingPath{Req: rq, Path: p, Rate: lam})
+		if _, declared := dec.Unserved[rq]; !declared {
+			// Served through the fallback without the decision having
+			// planned for it: a prediction miss, the unanticipated-
+			// demand volume of the hour.
+			ev.unanticipated += lam
+		}
 	}
-	cost, _, cong = placement.EvaluateServing(truth, paths, dec.Placement)
-	return cost, cong, nil
+	ev.cost, _, ev.cong = placement.EvaluateServing(truth, paths, dec.Placement)
+	return ev, nil
 }

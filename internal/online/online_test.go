@@ -1,9 +1,12 @@
 package online
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
 	"jcr/internal/graph"
 	"jcr/internal/placement"
@@ -166,11 +169,261 @@ func TestEvaluateOnTruthUnanticipated(t *testing.T) {
 		Rates:    [][]float64{{0, 2}},
 	}
 	dec := &Decision{Placement: s.NewPlacement()}
-	cost, _, err := evaluateOnTruth(HourInput{Truth: s, Dist: graph.AllPairs(g)}, dec)
+	ev, err := evaluateOnTruth(HourInput{Truth: s, Dist: graph.AllPairs(g)}, dec, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cost != 8 {
-		t.Errorf("fallback cost = %v, want 8", cost)
+	if ev.cost != 8 {
+		t.Errorf("fallback cost = %v, want 8", ev.cost)
+	}
+	if ev.demand != 2 || ev.unserved != 0 {
+		t.Errorf("demand/unserved = %v/%v, want 2/0", ev.demand, ev.unserved)
+	}
+	if ev.unanticipated != 2 {
+		t.Errorf("unanticipated = %v, want 2 (nothing was decided)", ev.unanticipated)
+	}
+}
+
+// scriptedPolicy runs a per-call function, for fault-injection tests.
+type scriptedPolicy struct {
+	name  string
+	calls int
+	fn    func(call int, ctx context.Context, spec *placement.Spec, dist [][]float64) (*Decision, error)
+}
+
+func (p *scriptedPolicy) Name() string { return p.name }
+
+func (p *scriptedPolicy) Decide(ctx context.Context, spec *placement.Spec, dist [][]float64) (*Decision, error) {
+	call := p.calls
+	p.calls++
+	return p.fn(call, ctx, spec, dist)
+}
+
+// TestFaultResilientIdleIsBitForBit: with no faults and no failing
+// decisions, the hardened Run must reproduce the strict Simulate series
+// exactly — same costs, congestion, and churn at every hour.
+func TestFaultResilientIdleIsBitForBit(t *testing.T) {
+	hours := buildHours(t)
+	strict, err := Simulate(&AlternatingPolicy{WarmStart: true, Rng: rand.New(rand.NewSource(7))}, hours)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard, err := Run(context.Background(), &AlternatingPolicy{WarmStart: true, Rng: rand.New(rand.NewSource(7))},
+		hours, Options{Resilient: true, MaxRetries: 2, Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hard.Hours) != len(strict.Hours) {
+		t.Fatalf("hour counts differ: %d vs %d", len(hard.Hours), len(strict.Hours))
+	}
+	for i := range strict.Hours {
+		a, b := strict.Hours[i], hard.Hours[i]
+		if a.Cost != b.Cost || a.Congestion != b.Congestion || a.Churn != b.Churn {
+			t.Errorf("hour %d diverges: strict %+v, resilient %+v", a.Hour, a, b)
+		}
+		if b.Source != SourceFresh || b.Retries != 0 {
+			t.Errorf("hour %d: source %v retries %d, want fresh/0", b.Hour, b.Source, b.Retries)
+		}
+		if b.Unserved != 0 {
+			t.Errorf("hour %d: unserved %v on an intact network", b.Hour, b.Unserved)
+		}
+	}
+	if hard.ServedFraction() != 1 || hard.DegradedHours() != 0 || hard.LongestOutage() != 0 {
+		t.Errorf("idle run reports degradation: served %v, degraded %d, outage %d",
+			hard.ServedFraction(), hard.DegradedHours(), hard.LongestOutage())
+	}
+}
+
+// TestFaultTimeoutDegradesToLastKnownGood: when Decide blocks past its
+// deadline, the hour must run on the last-known-good placement (stale),
+// and the next successful decision must be marked repaired.
+func TestFaultTimeoutDegradesToLastKnownGood(t *testing.T) {
+	hours := buildHours(t)
+	good := hours[0].Decision.NewPlacement()
+	good.Stores[2][0] = true // cache the hot item at edge node 2
+	pol := &scriptedPolicy{
+		name: "block-on-second",
+		fn: func(call int, ctx context.Context, spec *placement.Spec, dist [][]float64) (*Decision, error) {
+			if call == 1 || call == 2 { // hours 1 and 2 hang until the deadline
+				<-ctx.Done()
+				return nil, ctx.Err()
+			}
+			return &Decision{Placement: good.Clone()}, nil
+		},
+	}
+	series, err := Run(context.Background(), pol, hours, Options{
+		Resilient:     true,
+		DecideTimeout: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSources := []DecisionSource{SourceFresh, SourceStale, SourceStale, SourceRepaired}
+	for i, h := range series.Hours {
+		if h.Source != wantSources[i] {
+			t.Errorf("hour %d source = %v, want %v", h.Hour, h.Source, wantSources[i])
+		}
+	}
+	// The stale hours must reuse the hour-0 placement bit for bit (no
+	// capacity changed, so no eviction), hence zero churn.
+	if series.Hours[1].Churn != 0 || series.Hours[2].Churn != 0 {
+		t.Errorf("stale hours churned: %d, %d — last-known-good not reused",
+			series.Hours[1].Churn, series.Hours[2].Churn)
+	}
+	if got := series.DegradedHours(); got != 2 {
+		t.Errorf("DegradedHours = %d, want 2", got)
+	}
+	if got := series.LongestOutage(); got != 2 {
+		t.Errorf("LongestOutage = %d, want 2", got)
+	}
+	// Strict mode must surface the timeout instead of degrading.
+	pol2 := &scriptedPolicy{name: "block-always", fn: func(int, context.Context, *placement.Spec, [][]float64) (*Decision, error) {
+		return nil, context.DeadlineExceeded
+	}}
+	if _, err := Run(context.Background(), pol2, hours[:1], Options{DecideTimeout: time.Millisecond}); err == nil {
+		t.Error("strict run swallowed a decision failure")
+	}
+}
+
+// TestFaultTimeoutRequiresContext: a decide deadline without a parent
+// context is a configuration error, not a silent no-op.
+func TestFaultTimeoutRequiresContext(t *testing.T) {
+	hours := buildHours(t)
+	_, err := Run(nil, &AlternatingPolicy{}, hours, Options{DecideTimeout: time.Second})
+	if err == nil {
+		t.Fatal("nil context with DecideTimeout accepted")
+	}
+}
+
+// TestFaultRetryRecovers: transient decision failures within MaxRetries
+// must yield a fresh decision and record the attempts.
+func TestFaultRetryRecovers(t *testing.T) {
+	hours := buildHours(t)[:1]
+	good := hours[0].Decision.NewPlacement()
+	pol := &scriptedPolicy{
+		name: "flaky",
+		fn: func(call int, ctx context.Context, spec *placement.Spec, dist [][]float64) (*Decision, error) {
+			if call < 2 {
+				return nil, fmt.Errorf("transient failure %d", call)
+			}
+			return &Decision{Placement: good.Clone()}, nil
+		},
+	}
+	series, err := Run(context.Background(), pol, hours, Options{Resilient: true, MaxRetries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := series.Hours[0]
+	if h.Source != SourceFresh || h.Retries != 2 {
+		t.Errorf("source %v retries %d, want fresh after 2 retries", h.Source, h.Retries)
+	}
+	// One retry fewer must exhaust the budget and degrade instead.
+	pol.calls = 0
+	series, err = Run(context.Background(), pol, hours, Options{Resilient: true, MaxRetries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series.Hours[0].Source != SourceStale {
+		t.Errorf("source %v, want stale when retries are exhausted", series.Hours[0].Source)
+	}
+}
+
+// TestFaultValidateRejectsInfeasible: a decision violating cache
+// capacities must be treated as a failure (degraded under Resilient,
+// fatal otherwise).
+func TestFaultValidateRejectsInfeasible(t *testing.T) {
+	hours := buildHours(t)[:1]
+	pol := &scriptedPolicy{
+		name: "overfull",
+		fn: func(call int, ctx context.Context, spec *placement.Spec, dist [][]float64) (*Decision, error) {
+			pl := spec.NewPlacement()
+			pl.Stores[2][0] = true
+			pl.Stores[2][1] = true // capacity 1: infeasible
+			return &Decision{Placement: pl}, nil
+		},
+	}
+	if _, err := Run(context.Background(), pol, hours, Options{Validate: true}); err == nil {
+		t.Error("strict validating run accepted an infeasible placement")
+	}
+	pol.calls = 0
+	series, err := Run(context.Background(), pol, hours, Options{Validate: true, Resilient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series.Hours[0].Source != SourceStale {
+		t.Errorf("source %v, want stale after validation failure", series.Hours[0].Source)
+	}
+}
+
+// TestFaultUnservedAccounting: on a partitioned network, best-effort
+// evaluation accounts stranded demand as unserved instead of erroring,
+// and ServedFraction reflects it.
+func TestFaultUnservedAccounting(t *testing.T) {
+	// Node 2 is isolated: no arcs at all reach it.
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1, 10)
+	s := &placement.Spec{
+		G:        g,
+		NumItems: 1,
+		CacheCap: []float64{0, 0, 0},
+		Pinned:   []graph.NodeID{0},
+		Rates:    [][]float64{{0, 3, 1}},
+	}
+	hour := HourInput{Hour: 0, Decision: s, Truth: s, Dist: graph.AllPairs(g)}
+	pol := &scriptedPolicy{name: "origin-only", fn: func(int, context.Context, *placement.Spec, [][]float64) (*Decision, error) {
+		return &Decision{Placement: s.NewPlacement()}, nil
+	}}
+	series, err := Run(context.Background(), pol, []HourInput{hour}, Options{Resilient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := series.Hours[0]
+	if h.Demand != 4 || h.Unserved != 1 {
+		t.Errorf("demand/unserved = %v/%v, want 4/1", h.Demand, h.Unserved)
+	}
+	if got, want := series.ServedFraction(), 0.75; math.Abs(got-want) > 1e-12 {
+		t.Errorf("ServedFraction = %v, want %v", got, want)
+	}
+	// Strict evaluation must keep erroring on stranded demand.
+	if _, err := Run(context.Background(), pol, []HourInput{hour}, Options{}); err == nil {
+		t.Error("strict run served a partitioned network silently")
+	}
+}
+
+// TestFaultFallbackEvictsToDegradedCapacity: when the hour's caches are
+// smaller than the last-known-good placement, the fallback must evict to
+// fit rather than apply an infeasible placement.
+func TestFaultFallbackEvictsToDegradedCapacity(t *testing.T) {
+	hours := buildHours(t)[:2]
+	// Hour 1's caches fail: capacity zero at both edge nodes.
+	degraded := *hours[1].Decision
+	degraded.CacheCap = []float64{0, 0, 0, 0}
+	hours[1].Decision = &degraded
+	tr := *hours[1].Truth
+	tr.CacheCap = degraded.CacheCap
+	hours[1].Truth = &tr
+	good := hours[0].Decision.NewPlacement()
+	good.Stores[2][0] = true
+	pol := &scriptedPolicy{
+		name: "fail-second",
+		fn: func(call int, ctx context.Context, spec *placement.Spec, dist [][]float64) (*Decision, error) {
+			if call > 0 {
+				return nil, fmt.Errorf("controller down")
+			}
+			return &Decision{Placement: good.Clone()}, nil
+		},
+	}
+	series, err := Run(context.Background(), pol, hours, Options{Resilient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := series.Hours[1]
+	if h.Source != SourceStale {
+		t.Fatalf("hour 1 source = %v, want stale", h.Source)
+	}
+	// The cached copy at node 2 was lost with the cache: one eviction,
+	// counted as churn against hour 0.
+	if h.Churn != 1 {
+		t.Errorf("hour 1 churn = %d, want 1 (the evicted entry)", h.Churn)
 	}
 }

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -97,6 +98,14 @@ func pathCostUnder(s *Spec, sp *ServingPath, pl *Placement) (full, remaining flo
 // algorithm with a (1-1/e) guarantee; heterogeneous sizes always use the
 // greedy (Lemma 5.3 + Theorem 5.2).
 func PlacePerPath(s *Spec, paths []ServingPath, method PerPathMethod) (*Placement, error) {
+	return PlacePerPathContext(nil, s, paths, method)
+}
+
+// PlacePerPathContext is PlacePerPath with cooperative cancellation: ctx is
+// threaded into the LP solve and polled by the greedy loop, so a
+// caller-imposed deadline stops the subproblem mid-run. A nil ctx means no
+// cancellation (identical to PlacePerPath).
+func PlacePerPathContext(ctx context.Context, s *Spec, paths []ServingPath, method PerPathMethod) (*Placement, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -125,14 +134,14 @@ func PlacePerPath(s *Spec, paths []ServingPath, method PerPathMethod) (*Placemen
 		useLP = false // pipage cannot swap heterogeneous sizes (Section 5.2.2)
 	}
 	if useLP {
-		return placePerPathLP(s, paths)
+		return placePerPathLP(ctx, s, paths)
 	}
-	return placePerPathGreedy(s, paths)
+	return placePerPathGreedy(ctx, s, paths)
 }
 
 // placePerPathGreedy maximizes (14) by greedily caching the (node, item)
 // pair with the largest marginal saving until nothing fits.
-func placePerPathGreedy(s *Spec, paths []ServingPath) (*Placement, error) {
+func placePerPathGreedy(ctx context.Context, s *Spec, paths []ServingPath) (*Placement, error) {
 	pl := s.NewPlacement()
 	g := s.G
 	// Per item, the paths serving it, with cached-cut state.
@@ -183,6 +192,11 @@ func placePerPathGreedy(s *Spec, paths []ServingPath) (*Placement, error) {
 		return d
 	}
 	for {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("placement: per-path greedy canceled: %w", err)
+			}
+		}
 		bestV, bestI := -1, -1
 		best := 0.0
 		for _, v := range candidates {
@@ -213,7 +227,7 @@ func placePerPathGreedy(s *Spec, paths []ServingPath) (*Placement, error) {
 }
 
 // placePerPathLP solves the LP form of (15) and pipage-rounds the result.
-func placePerPathLP(s *Spec, paths []ServingPath) (*Placement, error) {
+func placePerPathLP(ctx context.Context, s *Spec, paths []ServingPath) (*Placement, error) {
 	g := s.G
 	var nodes []graph.NodeID
 	nodeIdx := make([]int, g.NumNodes())
@@ -291,7 +305,7 @@ func placePerPathLP(s *Spec, paths []ServingPath) (*Placement, error) {
 		}
 		prob.AddConstraint(idx, val, lp.LE, s.CacheCap[v])
 	}
-	sol, err := prob.Solve()
+	sol, err := prob.SolveContext(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("placement: per-path LP: %w", err)
 	}

@@ -11,6 +11,7 @@ package placement
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"jcr/internal/graph"
 )
@@ -146,6 +147,15 @@ func (s *Spec) NewPlacement() *Placement {
 	return p
 }
 
+// Clone returns an independent deep copy of the placement.
+func (p *Placement) Clone() *Placement {
+	c := &Placement{Stores: make([][]bool, len(p.Stores))}
+	for v := range p.Stores {
+		c.Stores[v] = append([]bool(nil), p.Stores[v]...)
+	}
+	return c
+}
+
 // Has reports whether v stores item i.
 func (p *Placement) Has(v graph.NodeID, i int) bool { return p.Stores[v][i] }
 
@@ -198,6 +208,50 @@ func (s *Spec) CheckFeasible(p *Placement) error {
 		}
 	}
 	return nil
+}
+
+// EvictToFit makes placement p feasible for this spec by evicting items
+// from every over-capacity non-pinned node until its occupancy fits
+// CacheCap. Eviction order is deterministic: the item with the smallest
+// local demand rate Rates[i][v] goes first, ties broken toward the larger
+// item index, so locally popular content survives a capacity loss. It
+// returns the number of evicted (node, item) entries. Used when carrying a
+// last-known-good placement onto a degraded network whose caches shrank or
+// failed.
+func (s *Spec) EvictToFit(p *Placement) int {
+	evicted := 0
+	for v := range p.Stores {
+		if s.IsPinned(v) {
+			continue
+		}
+		used := s.Occupancy(p, v)
+		if used <= s.CacheCap[v]+capSlack {
+			continue
+		}
+		// Stored items, least locally demanded last so we can pop them.
+		var stored []int
+		for i := 0; i < s.NumItems; i++ {
+			if p.Stores[v][i] {
+				stored = append(stored, i)
+			}
+		}
+		sort.SliceStable(stored, func(a, b int) bool {
+			ra, rb := s.Rates[stored[a]][v], s.Rates[stored[b]][v]
+			//jcrlint:allow float-eq: deterministic sort tie-break, not a tolerance check
+			if ra != rb {
+				return ra > rb
+			}
+			return stored[a] < stored[b]
+		})
+		for used > s.CacheCap[v]+capSlack && len(stored) > 0 {
+			i := stored[len(stored)-1]
+			stored = stored[:len(stored)-1]
+			p.Stores[v][i] = false
+			used -= s.Size(i)
+			evicted++
+		}
+	}
+	return evicted
 }
 
 // RNRSources selects, for every request, the least-cost node storing the

@@ -18,6 +18,7 @@
 package routing
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -72,6 +73,12 @@ type Options struct {
 	// draw under integral routing, keeping the one with the least
 	// congestion (ties broken by cost). Zero means the default of 5.
 	RoundingTrials int
+	// BestEffort serves what the network can reach instead of failing:
+	// requests whose node cannot be reached from any replica of the item
+	// (links down, network partitioned) are reported in Result.Unserved
+	// rather than aborting the solve. Off by default, which preserves
+	// the strict historical behavior of erroring on unreachable demand.
+	BestEffort bool
 }
 
 const defaultLPMaxVars = 6000
@@ -96,10 +103,22 @@ type Result struct {
 	MaxUtilization float64
 	// Method records how the splittable flow was computed.
 	Method string
+	// Unserved maps requests the solution does not serve (no replica of
+	// the item reachable from the requester) to their demand rate. Only
+	// populated under Options.BestEffort; nil when everything is served.
+	Unserved map[placement.Request]float64
 }
 
 // Route solves the routing subproblem for the given placement.
 func Route(s *placement.Spec, pl *placement.Placement, opts Options) (*Result, error) {
+	return RouteContext(nil, s, pl, opts)
+}
+
+// RouteContext is Route with cooperative cancellation: ctx is threaded
+// into the per-item min-cost flows, the multicommodity LP, and the
+// randomized-rounding loop, so a caller-imposed deadline stops the solver
+// mid-run. A nil ctx means no cancellation (identical to Route).
+func RouteContext(ctx context.Context, s *placement.Spec, pl *placement.Placement, opts Options) (*Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -119,6 +138,7 @@ func Route(s *placement.Spec, pl *placement.Placement, opts Options) (*Result, e
 	// Active items and their replica sets.
 	var active []itemDemand
 	var groups [][]graph.NodeID
+	unserved := map[placement.Request]float64{}
 	for i := 0; i < s.NumItems; i++ {
 		sinks := map[graph.NodeID]float64{}
 		var total float64
@@ -133,15 +153,40 @@ func Route(s *placement.Spec, pl *placement.Placement, opts Options) (*Result, e
 		}
 		reps := pl.Replicas(i)
 		if len(reps) == 0 {
+			if opts.BestEffort {
+				for v, r := range sinks {
+					unserved[placement.Request{Item: i, Node: v}] = r
+				}
+				continue
+			}
 			return nil, fmt.Errorf("routing: item %d has no replicas", i)
+		}
+		if opts.BestEffort {
+			// Drop demand no replica can reach (links down, network
+			// partitioned); the flow solvers would otherwise fail the
+			// whole solve over it.
+			reach := reachableFrom(s.G, reps)
+			for v, r := range sinks {
+				if !reach[v] {
+					unserved[placement.Request{Item: i, Node: v}] = r
+					delete(sinks, v)
+					total -= r
+				}
+			}
+			if total <= 0 {
+				continue
+			}
 		}
 		active = append(active, itemDemand{item: i, sinks: sinks, total: total})
 		groups = append(groups, reps)
 	}
+	if len(unserved) == 0 {
+		unserved = nil
+	}
 	aux := graph.NewAuxiliary(s.G, groups)
 
 	// Splittable per-item arc flows on the auxiliary graph.
-	flows, method, err := splittableFlows(aux, active, opts)
+	flows, method, err := splittableFlows(ctx, aux, active, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -178,7 +223,7 @@ func Route(s *placement.Spec, pl *placement.Placement, opts Options) (*Result, e
 			}
 		}
 		cost, loads, maxUtil := placement.EvaluateServing(s, paths, pl)
-		return &Result{Paths: paths, Cost: cost, Loads: loads, MaxUtilization: maxUtil, Method: method}, nil
+		return &Result{Paths: paths, Cost: cost, Loads: loads, MaxUtilization: maxUtil, Method: method, Unserved: unserved}, nil
 	}
 	// Randomized rounding (MMUFP): draw each request's single path with
 	// probability proportional to its flow; repeat and keep the draw
@@ -193,6 +238,14 @@ func Route(s *placement.Spec, pl *placement.Placement, opts Options) (*Result, e
 	}
 	var best *Result
 	for trial := 0; trial < opts.RoundingTrials; trial++ {
+		if ctx != nil && best != nil {
+			// Keep the incumbent rounding instead of erroring: at least
+			// one trial has completed, and a deadline should not discard
+			// a usable solution.
+			if ctx.Err() != nil {
+				break
+			}
+		}
 		paths := make([]placement.ServingPath, 0, len(all))
 		for _, ro := range all {
 			var total float64
@@ -214,7 +267,7 @@ func Route(s *placement.Spec, pl *placement.Placement, opts Options) (*Result, e
 			paths = append(paths, placement.ServingPath{Req: ro.rq, Path: base, Rate: demandOf(ro)})
 		}
 		cost, loads, maxUtil := placement.EvaluateServing(s, paths, pl)
-		cand := &Result{Paths: paths, Cost: cost, Loads: loads, MaxUtilization: maxUtil, Method: method}
+		cand := &Result{Paths: paths, Cost: cost, Loads: loads, MaxUtilization: maxUtil, Method: method, Unserved: unserved}
 		if best == nil ||
 			cand.MaxUtilization < best.MaxUtilization-utilTol ||
 			(math.Abs(cand.MaxUtilization-best.MaxUtilization) <= utilTol && cand.Cost < best.Cost) {
@@ -258,7 +311,7 @@ func SolveMMSFPExact(s *placement.Spec, pl *placement.Placement) (float64, error
 		return 0, nil
 	}
 	aux := graph.NewAuxiliary(s.G, groups)
-	flows, err := multicommodityLP(aux, active)
+	flows, err := multicommodityLP(nil, aux, active)
 	if err != nil {
 		return 0, err
 	}
@@ -271,10 +324,35 @@ func SolveMMSFPExact(s *placement.Spec, pl *placement.Placement) (float64, error
 	return cost, nil
 }
 
+// reachableFrom marks the nodes reachable from any of the given roots
+// along arc direction, ignoring capacities (the capacity-oblivious last
+// resort can use any arc, so reachability is purely structural).
+func reachableFrom(g *graph.Graph, roots []graph.NodeID) []bool {
+	seen := make([]bool, g.NumNodes())
+	var stack []graph.NodeID
+	for _, r := range roots {
+		if !seen[r] {
+			seen[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, id := range g.Out(v) {
+			if w := g.Arc(id).To; !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return seen
+}
+
 // splittableFlows computes per-item arc flows (indexed like aux.G arcs)
 // satisfying each item's demands, minimizing total cost within shared real
 // link capacities when possible.
-func splittableFlows(aux *graph.Auxiliary, active []itemDemand, opts Options) ([][]float64, string, error) {
+func splittableFlows(ctx context.Context, aux *graph.Auxiliary, active []itemDemand, opts Options) ([][]float64, string, error) {
 	g := aux.G
 	// 1. Independent per-item min-cost flows, each respecting the link
 	// capacities on its own.
@@ -282,12 +360,15 @@ func splittableFlows(aux *graph.Auxiliary, active []itemDemand, opts Options) ([
 	agg := make([]float64, g.NumArcs())
 	independentOK := true
 	for k, ad := range active {
-		f, err := itemMinCostFlow(aux, k, ad.sinks, nil, false)
+		f, err := itemMinCostFlow(ctx, aux, k, ad.sinks, nil, false)
 		if err != nil {
+			if ctx != nil && ctx.Err() != nil {
+				return nil, "", err
+			}
 			// Even this single item exceeds some capacity: route it
 			// capacity-obliviously; the congestion check below will
 			// send us to the coupled solvers.
-			f, err = itemMinCostFlow(aux, k, ad.sinks, nil, true)
+			f, err = itemMinCostFlow(ctx, aux, k, ad.sinks, nil, true)
 			if err != nil {
 				return nil, "", err
 			}
@@ -308,9 +389,12 @@ func splittableFlows(aux *graph.Auxiliary, active []itemDemand, opts Options) ([
 	}
 	// 2. Exact multicommodity LP when small enough.
 	if len(active)*g.NumArcs() <= opts.LPMaxVars {
-		lpFlows, err := multicommodityLP(aux, active)
+		lpFlows, err := multicommodityLP(ctx, aux, active)
 		if err == nil {
 			return lpFlows, MethodLP, nil
+		}
+		if ctx != nil && ctx.Err() != nil {
+			return nil, "", err
 		}
 		// Infeasible or numerically stuck: fall through to the
 		// sequential heuristic, which always produces a solution.
@@ -327,11 +411,14 @@ func splittableFlows(aux *graph.Auxiliary, active []itemDemand, opts Options) ([
 		residual[id] = g.Arc(id).Cap
 	}
 	for _, k := range order {
-		f, err := itemMinCostFlow(aux, k, active[k].sinks, residual, false)
+		f, err := itemMinCostFlow(ctx, aux, k, active[k].sinks, residual, false)
 		if err != nil {
+			if ctx != nil && ctx.Err() != nil {
+				return nil, "", err
+			}
 			// No room left: route capacity-obliviously and absorb
 			// the congestion (measured by the caller).
-			f, err = itemMinCostFlow(aux, k, active[k].sinks, nil, true)
+			f, err = itemMinCostFlow(ctx, aux, k, active[k].sinks, nil, true)
 			if err != nil {
 				return nil, "", err
 			}
@@ -351,7 +438,7 @@ func splittableFlows(aux *graph.Auxiliary, active []itemDemand, opts Options) ([
 // super-sink min-cost flow. residual, if non-nil, overrides arc capacities;
 // unlimited ignores capacities entirely (the capacity-oblivious last
 // resort, whose congestion the caller measures).
-func itemMinCostFlow(aux *graph.Auxiliary, k int, sinks map[graph.NodeID]float64, residual []float64, unlimited bool) ([]float64, error) {
+func itemMinCostFlow(ctx context.Context, aux *graph.Auxiliary, k int, sinks map[graph.NodeID]float64, residual []float64, unlimited bool) ([]float64, error) {
 	gg := aux.G.Clone()
 	switch {
 	case unlimited:
@@ -372,7 +459,7 @@ func itemMinCostFlow(aux *graph.Auxiliary, k int, sinks map[graph.NodeID]float64
 		gg.AddArc(t, super, 0, d)
 		total += d
 	}
-	res, err := flow.MinCostFlow(gg, aux.VirtualSource[k], super, total)
+	res, err := flow.MinCostFlowContext(ctx, gg, aux.VirtualSource[k], super, total)
 	if err != nil {
 		return nil, err
 	}
@@ -381,7 +468,7 @@ func itemMinCostFlow(aux *graph.Auxiliary, k int, sinks map[graph.NodeID]float64
 
 // multicommodityLP solves the coupled MMSFP exactly: one flow variable per
 // (item, arc), per-item conservation, shared capacity on real arcs.
-func multicommodityLP(aux *graph.Auxiliary, active []itemDemand) ([][]float64, error) {
+func multicommodityLP(ctx context.Context, aux *graph.Auxiliary, active []itemDemand) ([][]float64, error) {
 	g := aux.G
 	m := g.NumArcs()
 	nc := len(active)
@@ -437,7 +524,7 @@ func multicommodityLP(aux *graph.Auxiliary, active []itemDemand) ([][]float64, e
 		}
 		p.AddConstraint(idx, val, lp.LE, c)
 	}
-	sol, err := p.Solve()
+	sol, err := p.SolveContext(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("routing: multicommodity LP: %w", err)
 	}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -15,12 +16,20 @@ import (
 // Deltacom), so the generated stand-ins can be replaced with the real
 // datasets. Only the structure is consumed: `node [ id N ]` and
 // `edge [ source A target B ]` blocks; labels and geography are ignored.
-// Node ids may be sparse; they are remapped to dense indices. Duplicate
-// edges collapse and self-loops are dropped, matching how the paper counts
-// links. Costs default to 1 and capacities to unlimited (assign them with
-// AssignCosts / SetUniformCapacity afterwards).
+// Node ids may be sparse; they are remapped to dense indices. Self-loops
+// are dropped and an edge listed in both directions collapses to one
+// undirected link (keeping the first direction's weight), matching how the
+// paper counts links; an exact repeat of the same directed edge is a
+// malformed file and rejected, as is a negative or non-numeric edge
+// weight/value — fault scenarios mutate topologies, so bad inputs must
+// fail loudly rather than seed a run with garbage. Costs default to 1 when
+// no weight/value key is present and capacities to unlimited (assign them
+// with AssignCosts / SetUniformCapacity afterwards).
 func ParseGML(r io.Reader, name string, numEdgeNodes int) (*Network, error) {
-	type edge struct{ source, target int }
+	type edge struct {
+		source, target int
+		cost           float64
+	}
 	var edges []edge
 	ids := map[int]int{} // GML id -> dense index
 
@@ -98,6 +107,7 @@ func ParseGML(r io.Reader, name string, numEdgeNodes int) (*Network, error) {
 				return nil, fmt.Errorf("topo: gml: edge without block at token %d", i)
 			}
 			src, dst := -1<<30, -1<<30
+			cost := 1.0
 			d := 0
 			for ; j < len(tokens); j++ {
 				switch tokens[j] {
@@ -117,6 +127,17 @@ func ParseGML(r io.Reader, name string, numEdgeNodes int) (*Network, error) {
 							dst = v
 						}
 					}
+				case "weight", "value":
+					if d == 1 && j+1 < len(tokens) {
+						w, err := strconv.ParseFloat(tokens[j+1], 64)
+						if err != nil {
+							return nil, fmt.Errorf("topo: gml: edge %s %q is not a number", tokens[j], tokens[j+1])
+						}
+						if w < 0 || math.IsNaN(w) {
+							return nil, fmt.Errorf("topo: gml: edge %s %v is negative or NaN", tokens[j], w)
+						}
+						cost = w
+					}
 				}
 				if d == 0 && j > i+1 {
 					break
@@ -125,7 +146,7 @@ func ParseGML(r io.Reader, name string, numEdgeNodes int) (*Network, error) {
 			if src == -1<<30 || dst == -1<<30 {
 				return nil, fmt.Errorf("topo: gml: edge block missing source/target")
 			}
-			edges = append(edges, edge{source: src, target: dst})
+			edges = append(edges, edge{source: src, target: dst, cost: cost})
 			i = j + 1
 		default:
 			i++
@@ -136,12 +157,17 @@ func ParseGML(r io.Reader, name string, numEdgeNodes int) (*Network, error) {
 	}
 	g := graph.New(len(ids))
 	seen := map[[2]int]bool{}
+	seenDirected := map[[2]int]bool{}
 	for _, e := range edges {
 		u, okU := ids[e.source]
 		v, okV := ids[e.target]
 		if !okU || !okV {
 			return nil, fmt.Errorf("topo: gml: edge references unknown node %d-%d", e.source, e.target)
 		}
+		if seenDirected[[2]int{e.source, e.target}] {
+			return nil, fmt.Errorf("topo: gml: duplicate directed edge %d -> %d", e.source, e.target)
+		}
+		seenDirected[[2]int{e.source, e.target}] = true
 		if u == v {
 			continue // self-loop
 		}
@@ -150,10 +176,10 @@ func ParseGML(r io.Reader, name string, numEdgeNodes int) (*Network, error) {
 			a, b = b, a
 		}
 		if seen[[2]int{a, b}] {
-			continue // parallel edge
+			continue // reverse listing of an already-added undirected link
 		}
 		seen[[2]int{a, b}] = true
-		g.AddEdge(u, v, 1, graph.Unlimited)
+		g.AddEdge(u, v, e.cost, graph.Unlimited)
 	}
 	if !g.Connected() {
 		return nil, fmt.Errorf("topo: gml: topology is not connected")

@@ -39,8 +39,8 @@ graph [
     target 0
   ]
   edge [
-    source 5
-    target 0
+    source 0
+    target 5
   ]
   edge [
     source 7
@@ -61,8 +61,8 @@ func TestParseGML(t *testing.T) {
 	if n.G.NumNodes() != 4 {
 		t.Errorf("nodes = %d, want 4", n.G.NumNodes())
 	}
-	// 4 distinct undirected links (duplicate 5-0 collapsed, self-loop
-	// 7-7 dropped) -> 8 arcs.
+	// 4 distinct undirected links (reverse listing 0-5 of link 5-0
+	// collapsed, self-loop 7-7 dropped) -> 8 arcs.
 	if n.G.NumArcs() != 8 {
 		t.Errorf("arcs = %d, want 8", n.G.NumArcs())
 	}
@@ -79,17 +79,63 @@ func TestParseGML(t *testing.T) {
 }
 
 func TestParseGMLErrors(t *testing.T) {
-	cases := map[string]string{
-		"empty":        "",
-		"no nodes":     "graph [ edge [ source 0 target 1 ] ]",
-		"bad edge":     "graph [ node [ id 0 ] node [ id 1 ] edge [ source 0 ] ]",
-		"unknown node": "graph [ node [ id 0 ] node [ id 1 ] edge [ source 0 target 9 ] ]",
-		"disconnected": "graph [ node [ id 0 ] node [ id 1 ] node [ id 2 ] node [ id 3 ] edge [ source 0 target 1 ] edge [ source 2 target 3 ] ]",
-		"unbalanced":   "graph [ node [ id 0 ] ] ]",
+	cases := []struct {
+		name    string
+		src     string
+		wantErr string
+	}{
+		{"empty", "", "no nodes"},
+		{"no nodes", "graph [ edge [ source 0 target 1 ] ]", "no nodes"},
+		{"bad edge", "graph [ node [ id 0 ] node [ id 1 ] edge [ source 0 ] ]", "missing source/target"},
+		{"unknown node", "graph [ node [ id 0 ] node [ id 1 ] edge [ source 0 target 9 ] ]", "unknown node"},
+		{"disconnected", "graph [ node [ id 0 ] node [ id 1 ] node [ id 2 ] node [ id 3 ] edge [ source 0 target 1 ] edge [ source 2 target 3 ] ]", "not connected"},
+		{"unbalanced", "graph [ node [ id 0 ] ] ]", "unbalanced"},
+		{"negative weight", "graph [ node [ id 0 ] node [ id 1 ] edge [ source 0 target 1 weight -2 ] ]", "negative"},
+		{"negative value", "graph [ node [ id 0 ] node [ id 1 ] edge [ source 0 target 1 value -0.5 ] ]", "negative"},
+		{"NaN weight", "graph [ node [ id 0 ] node [ id 1 ] edge [ source 0 target 1 weight NaN ] ]", "NaN"},
+		{"non-numeric weight", "graph [ node [ id 0 ] node [ id 1 ] edge [ source 0 target 1 weight fast ] ]", "not a number"},
+		{"duplicate directed edge", "graph [ node [ id 0 ] node [ id 1 ] edge [ source 0 target 1 ] edge [ source 0 target 1 ] ]", "duplicate directed edge"},
+		{"duplicate directed self-loop", "graph [ node [ id 0 ] node [ id 1 ] edge [ source 0 target 1 ] edge [ source 1 target 1 ] edge [ source 1 target 1 ] ]", "duplicate directed edge"},
 	}
-	for name, src := range cases {
-		if _, err := ParseGML(strings.NewReader(src), "x", 1); err == nil {
-			t.Errorf("%s: expected error", name)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseGML(strings.NewReader(tc.src), "x", 1)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error = %q, want it to mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseGMLWeights(t *testing.T) {
+	// weight/value keys become arc costs; edges without one default to 1,
+	// and a reverse listing keeps the first direction's weight.
+	const src = `graph [
+	  node [ id 0 ] node [ id 1 ] node [ id 2 ]
+	  edge [ source 0 target 1 weight 2.5 ]
+	  edge [ source 1 target 2 value 4 ]
+	  edge [ source 2 target 1 weight 9 ]
+	  edge [ source 2 target 0 ]
+	]`
+	n, err := ParseGML(strings.NewReader(src), "weighted", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.G.NumArcs(); got != 6 {
+		t.Fatalf("arcs = %d, want 6", got)
+	}
+	wantCost := map[[2]int]float64{
+		{0, 1}: 2.5, {1, 0}: 2.5,
+		{1, 2}: 4, {2, 1}: 4,
+		{2, 0}: 1, {0, 2}: 1,
+	}
+	for id := 0; id < n.G.NumArcs(); id++ {
+		a := n.G.Arc(id)
+		if want := wantCost[[2]int{a.From, a.To}]; a.Cost != want {
+			t.Errorf("arc %d->%d cost = %v, want %v", a.From, a.To, a.Cost, want)
 		}
 	}
 }

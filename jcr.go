@@ -30,6 +30,8 @@
 package jcr
 
 import (
+	"context"
+
 	"jcr/internal/core"
 	"jcr/internal/experiments"
 	"jcr/internal/graph"
@@ -168,10 +170,22 @@ type (
 	AlternatingPolicy = online.AlternatingPolicy
 )
 
+// OnlineOptions harden the online simulation: per-decision deadlines,
+// bounded retries, decision validation, and degraded fallback to the
+// last-known-good placement.
+type OnlineOptions = online.Options
+
 // SimulateOnline replays a policy over consecutive hours, serving the
 // realized demand with decisions made on the (predicted) decision demand.
 func SimulateOnline(policy OnlinePolicy, hours []OnlineHour) (*OnlineSeries, error) {
 	return online.Simulate(policy, hours)
+}
+
+// RunOnline is SimulateOnline under hardening options (see OnlineOptions):
+// with the zero options and a nil context it is identical to
+// SimulateOnline.
+func RunOnline(ctx context.Context, policy OnlinePolicy, hours []OnlineHour, opts OnlineOptions) (*OnlineSeries, error) {
+	return online.Run(ctx, policy, hours, opts)
 }
 
 // ExperimentConfig carries the evaluation-harness knobs.
@@ -185,11 +199,12 @@ func DefaultExperimentConfig() *ExperimentConfig { return experiments.DefaultCon
 func Experiments() []experiments.Experiment { return experiments.Registry() }
 
 // RunExperiment reproduces one table or figure by id and returns its
-// rendered text.
-func RunExperiment(id string, cfg *ExperimentConfig) (string, error) {
+// rendered text. ctx, when non-nil, cancels long runs between solver
+// iterations.
+func RunExperiment(ctx context.Context, id string, cfg *ExperimentConfig) (string, error) {
 	e, err := experiments.Lookup(id)
 	if err != nil {
 		return "", err
 	}
-	return e.Run(cfg)
+	return e.Run(ctx, cfg)
 }

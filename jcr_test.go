@@ -1,6 +1,7 @@
 package jcr
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -103,14 +104,14 @@ func TestFacadeExperiments(t *testing.T) {
 	if len(Experiments()) == 0 {
 		t.Fatal("no experiments registered")
 	}
-	out, err := RunExperiment("table1", DefaultExperimentConfig())
+	out, err := RunExperiment(context.Background(), "table1", DefaultExperimentConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out, "Table 1") {
 		t.Errorf("table1 output malformed")
 	}
-	if _, err := RunExperiment("bogus", DefaultExperimentConfig()); err == nil {
+	if _, err := RunExperiment(context.Background(), "bogus", DefaultExperimentConfig()); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }

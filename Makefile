@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench vet lint cover experiments examples clean
+.PHONY: all build test bench bench-json race vet lint cover experiments examples clean
 
 all: build lint test
 
@@ -26,6 +26,16 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable substrate micro-benchmarks (LP pivots/sec sparse vs
+# dense, MMSFP wall time, experiment-harness times) for tracking the perf
+# trajectory across PRs.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_pr3.json
+
+# Full suite under the race detector (also a CI job).
+race:
+	$(GO) test -race ./...
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 experiments:

@@ -1,0 +1,263 @@
+// Command benchjson runs the substrate micro-benchmarks (LP pivots/sec
+// sparse vs dense, MMSFP wall time, experiment-harness wall times) via
+// testing.Benchmark and writes them as machine-readable JSON, so the perf
+// trajectory across PRs can be tracked without parsing `go test -bench`
+// text output.
+//
+// Usage:
+//
+//	benchjson [-out BENCH_pr3.json] [-mc 1]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"jcr/internal/experiments"
+	"jcr/internal/graph"
+	"jcr/internal/lp"
+	"jcr/internal/msufp"
+	"jcr/internal/topo"
+)
+
+// Result is one benchmark row of the emitted JSON.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// PivotsPerSec is set for LP benchmarks only.
+	PivotsPerSec float64 `json:"pivots_per_sec,omitempty"`
+}
+
+// Report is the whole JSON document.
+type Report struct {
+	Go         string   `json:"go"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_pr3.json", "output file ('-' = stdout)")
+	mc := flag.Int("mc", 1, "Monte-Carlo runs for the experiment-harness timings")
+	flag.Parse()
+	rep := Report{Go: fmt.Sprintf("%d maxprocs", maxProcs())}
+
+	// LP micro-benchmarks: the placement-LP-shaped instance from
+	// bench_test.go, solved by the sparse revised simplex and by the dense
+	// tableau oracle. Pivots/sec is pivots-per-solve over seconds-per-solve.
+	for _, b := range []struct {
+		name  string
+		solve func(*lp.Problem) (*lp.Solution, error)
+	}{
+		{"lp_sparse_solve", func(p *lp.Problem) (*lp.Solution, error) { return p.Solve() }},
+		{"lp_dense_solve", func(p *lp.Problem) (*lp.Solution, error) { return p.SolveDense(context.Background()) }},
+	} {
+		for _, in := range []struct {
+			tag   string
+			build func() *lp.Problem
+		}{
+			{"placement", placementLP},
+			{"mmsfp_sized", mmsfpSizedLP},
+		} {
+			solve, build := b.solve, in.build
+			var pivots int
+			res := testing.Benchmark(func(tb *testing.B) {
+				tb.ReportAllocs()
+				for i := 0; i < tb.N; i++ {
+					sol, err := solve(build())
+					if err != nil {
+						tb.Fatal(err)
+					}
+					pivots = sol.Pivots
+				}
+			})
+			row := toResult(b.name+"_"+in.tag, res)
+			if res.NsPerOp() > 0 {
+				row.PivotsPerSec = float64(pivots) / (float64(res.NsPerOp()) / 1e9)
+			}
+			rep.Benchmarks = append(rep.Benchmarks, row)
+		}
+	}
+
+	// MMSFP wall time: Algorithm 2 at K=1000 on the Fig. 6 instance scale.
+	inst := msufpInstance()
+	res := testing.Benchmark(func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			if _, err := msufp.SolveAlg2(inst, 1000); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	})
+	rep.Benchmarks = append(rep.Benchmarks, toResult("msufp_alg2_k1000", res))
+
+	// Experiment-harness wall times: one timed pass per table/figure id
+	// (benchmarks would re-run these many times; a single pass is what the
+	// perf trajectory needs).
+	cfg := experiments.DefaultConfig()
+	cfg.MonteCarloRuns = *mc
+	for _, id := range []string{"table2", "fig5", "fig6"} {
+		e, err := experiments.Lookup(id)
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		if _, err := e.Run(context.Background(), cfg); err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		rep.Benchmarks = append(rep.Benchmarks, Result{
+			Name:       "harness_" + id,
+			Iterations: 1,
+			NsPerOp:    float64(time.Since(start).Nanoseconds()),
+		})
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", *out)
+}
+
+func toResult(name string, res testing.BenchmarkResult) Result {
+	return Result{
+		Name:        name,
+		Iterations:  res.N,
+		NsPerOp:     float64(res.NsPerOp()),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// must aborts on constraint-construction errors: the benchmark instances
+// are valid by construction, so any failure is a bug in this generator.
+func must(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func maxProcs() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// placementLP builds the placement-LP-shaped instance used by
+// BenchmarkSimplexLP: 120 request variables coupled to a 30x8 placement
+// grid through sparse rows.
+func placementLP() *lp.Problem {
+	rng := rand.New(rand.NewSource(4))
+	const items, nodes, reqs = 30, 8, 120
+	p := lp.NewProblem(items*nodes + reqs)
+	p.SetSense(lp.Maximize)
+	for r := 0; r < reqs; r++ {
+		y := items*nodes + r
+		p.SetObjectiveCoeff(y, 1+rng.Float64())
+		p.SetBounds(y, 0, 1)
+		idx := []int{y}
+		val := []float64{1}
+		for k := 0; k < 4; k++ {
+			idx = append(idx, rng.Intn(items*nodes))
+			val = append(val, -rng.Float64())
+		}
+		must(p.AddConstraint(idx, val, lp.LE, 0.1))
+	}
+	for v := 0; v < nodes; v++ {
+		idx := make([]int, items)
+		vals := make([]float64, items)
+		for i := 0; i < items; i++ {
+			idx[i], vals[i] = v*items+i, 1
+			p.SetBounds(v*items+i, 0, 1)
+		}
+		must(p.AddConstraint(idx, vals, lp.LE, 5))
+	}
+	return p
+}
+
+// mmsfpSizedLP mirrors lp.MMSFPSizedLP from internal/lp/bench_test.go: the
+// 1800-variable multicommodity-shaped LP where sparse rows dominate.
+func mmsfpSizedLP() *lp.Problem {
+	rng := rand.New(rand.NewSource(7))
+	const nItems, nArcs = 12, 150
+	n := nItems * nArcs
+	p := lp.NewProblem(n)
+	for j := 0; j < n; j++ {
+		p.SetBounds(j, 0, 10)
+		p.SetObjectiveCoeff(j, 1+rng.Float64())
+	}
+	for i := 0; i < nItems; i++ {
+		for r := 0; r < nArcs/4; r++ {
+			idx := make([]int, 0, 6)
+			val := make([]float64, 0, 6)
+			seen := map[int]bool{}
+			for k := 0; k < 6; k++ {
+				a := rng.Intn(nArcs)
+				if seen[a] {
+					continue
+				}
+				seen[a] = true
+				idx = append(idx, i*nArcs+a)
+				if len(idx)%2 == 1 {
+					val = append(val, 1)
+				} else {
+					val = append(val, -1)
+				}
+			}
+			must(p.AddConstraint(idx, val, lp.LE, 5+rng.Float64()))
+		}
+	}
+	for a := 0; a < nArcs; a++ {
+		idx := make([]int, nItems)
+		val := make([]float64, nItems)
+		for i := 0; i < nItems; i++ {
+			idx[i], val[i] = i*nArcs+a, 1
+		}
+		must(p.AddConstraint(idx, val, lp.LE, 30))
+	}
+	return p
+}
+
+// msufpInstance mirrors benchMSUFPInstance from bench_test.go: 486
+// commodities on the Abovenet auxiliary graph.
+func msufpInstance() *msufp.Instance {
+	net := topo.Abovenet(1)
+	rng := rand.New(rand.NewSource(2))
+	net.AssignCosts(rng, 100, 200, 1, 20)
+	net.SetUniformCapacity(5000)
+	perEdge := make([]float64, len(net.Edges))
+	aux := graph.NewAuxiliary(net.G, [][]graph.NodeID{{net.Origin, net.Edges[0]}})
+	inst := &msufp.Instance{G: aux.G, Source: aux.VirtualSource[0]}
+	for i := 0; i < 486; i++ {
+		e := rng.Intn(len(net.Edges))
+		d := 20 * (1 + rng.ExpFloat64())
+		inst.Commodities = append(inst.Commodities, msufp.Commodity{Dest: net.Edges[e], Demand: d})
+		perEdge[e] += d
+	}
+	if err := net.AugmentFeasibility(perEdge); err != nil {
+		fatal(err)
+	}
+	for id := 0; id < net.G.NumArcs(); id++ {
+		aux.G.SetArcCap(id, net.G.Arc(id).Cap)
+	}
+	return inst
+}

@@ -32,6 +32,7 @@ var allAnalyzers = []*analyzer{
 	{"err-drop", "no discarded error results from this module's own functions", runErrDrop},
 	{"tol-literal", "scientific-notation tolerance literals must be named package-level constants", runTolLiteral},
 	{"bg-context", "no context.Background()/context.TODO() in library packages; thread the caller's ctx", runBgContext},
+	{"go-stmt", "no bare go statements outside jcr/internal/par; fan-out goes through the worker pool", runGoStmt},
 }
 
 // Lint runs the selected analyzers over one package and applies the

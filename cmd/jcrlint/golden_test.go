@@ -24,6 +24,7 @@ func TestGolden(t *testing.T) {
 		{"errdrop", "err-drop"},
 		{"tolliteral", "tol-literal"},
 		{"bgcontext", "bg-context"},
+		{"gostmt", "go-stmt"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {
@@ -78,4 +79,23 @@ func lintFixture(t *testing.T, fixture, analyzer string) string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// TestGoStmtExemptsPar pins the one allowed home for bare go statements:
+// the worker pool itself must lint clean under go-stmt even though it
+// spawns goroutines.
+func TestGoStmtExemptsPar(t *testing.T) {
+	pkgs, err := loadPackages([]string{"jcr/internal/par"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	selected, err := selectAnalyzers("go-stmt", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		if diags := Lint(pkg, selected); len(diags) > 0 {
+			t.Errorf("internal/par flagged by go-stmt: %v", diags)
+		}
+	}
 }

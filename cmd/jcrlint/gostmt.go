@@ -1,0 +1,36 @@
+package main
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// runGoStmt keeps all concurrency behind the bounded worker pool: a bare
+// `go` statement spawns an unbounded, unsupervised goroutine whose panics
+// crash the process and whose completion nothing awaits, and ad-hoc
+// fan-out is exactly how nondeterministic merge orders leak into results.
+// Library and command code must route parallelism through jcr/internal/par
+// (par.Do / par.Map), which bounds the width, propagates the lowest-index
+// error, re-raises panics on the caller, and merges results in
+// deterministic index order. Only internal/par itself may use `go`.
+func runGoStmt(pkg *Package) []Diagnostic {
+	if pkg.Path == "jcr/internal/par" || strings.HasSuffix(pkg.Path, "/internal/par") {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      pkg.Fset.Position(stmt.Pos()),
+				Analyzer: "go-stmt",
+				Message:  "bare go statement outside jcr/internal/par; route fan-out through the par worker pool (par.Do/par.Map) so width, errors and merge order stay bounded and deterministic",
+			})
+			return true
+		})
+	}
+	return diags
+}

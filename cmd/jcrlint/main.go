@@ -14,6 +14,8 @@
 //	             them as package-level constants
 //	bg-context   no context.Background()/context.TODO() in library
 //	             packages; accept and thread the caller's ctx
+//	go-stmt      no bare go statements outside jcr/internal/par; all
+//	             fan-out goes through the bounded worker pool
 //
 // Usage:
 //

@@ -1,0 +1,29 @@
+// Package gostmt is a jcrlint golden-test fixture for the go-stmt
+// analyzer: ad-hoc goroutine fan-out versus the bounded worker pool.
+package gostmt
+
+// Bad spawns an unsupervised goroutine (the violation): nothing bounds
+// the width, awaits completion, or catches a panic.
+func Bad(work func()) {
+	go work()
+}
+
+// AlsoBad hides the spawn inside a literal and leaks a result-order race
+// (also a violation).
+func AlsoBad(results []int) {
+	for i := range results {
+		i := i
+		go func() {
+			results[i] = i * i
+		}()
+	}
+}
+
+// Good routes the same fan-out through a pool-shaped helper (compliant:
+// no go statement in this package; the pool owns the goroutines).
+func Good(pool func(n int, fn func(int) error) error, results []int) error {
+	return pool(len(results), func(i int) error {
+		results[i] = i * i
+		return nil
+	})
+}

@@ -8,10 +8,13 @@
 //	jcrsim -list
 //	jcrsim -exp fig5 [-mc 10] [-hours 10,40,70] [-seed 1]
 //	jcrsim -exp fault [-out results]
-//	jcrsim -exp all
+//	jcrsim -exp all [-workers 4] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Experiments with figure data are archived as CSV under -out (default
-// results/); an empty -out disables archiving.
+// results/); an empty -out disables archiving. -workers bounds the
+// Monte-Carlo/solver worker pool (0 = GOMAXPROCS); output is bit-for-bit
+// identical for any width. -cpuprofile/-memprofile write pprof profiles
+// for `go tool pprof`.
 package main
 
 import (
@@ -21,6 +24,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -38,26 +43,56 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("jcrsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		list  = fs.Bool("list", false, "list available experiments")
-		exp   = fs.String("exp", "", "experiment id to run, or 'all'")
-		mc    = fs.Int("mc", 0, "Monte-Carlo runs per data point (0 = default)")
-		hours = fs.String("hours", "", "comma-separated evaluation hours within the 100-hour window")
-		seed  = fs.Int64("seed", 0, "random seed (0 = default)")
-		k     = fs.Int("k", 0, "candidate paths for the [3] baseline (0 = default)")
-		csv   = fs.Bool("csv", false, "emit figure data as CSV instead of text tables")
-		out   = fs.String("out", "results", "directory for CSV archives of figure data ('' = no archive)")
+		list    = fs.Bool("list", false, "list available experiments")
+		exp     = fs.String("exp", "", "experiment id to run, or 'all'")
+		mc      = fs.Int("mc", 0, "Monte-Carlo runs per data point (0 = default)")
+		hours   = fs.String("hours", "", "comma-separated evaluation hours within the 100-hour window")
+		seed    = fs.Int64("seed", 0, "random seed (0 = default)")
+		k       = fs.Int("k", 0, "candidate paths for the [3] baseline (0 = default)")
+		csv     = fs.Bool("csv", false, "emit figure data as CSV instead of text tables")
+		out     = fs.String("out", "results", "directory for CSV archives of figure data ('' = no archive)")
+		workers = fs.Int("workers", 0, "worker-pool width for Monte-Carlo runs and solver fan-out (0 = GOMAXPROCS)")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if err := runMain(ctx, stdout, *list, *exp, *mc, *hours, *seed, *k, *csv, *out); err != nil {
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(stderr, "jcrsim:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "jcrsim:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(stderr, "jcrsim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "jcrsim:", err)
+			}
+		}()
+	}
+	if err := runMain(ctx, stdout, *list, *exp, *mc, *hours, *seed, *k, *workers, *csv, *out); err != nil {
 		fmt.Fprintln(stderr, "jcrsim:", err)
 		return 1
 	}
 	return 0
 }
 
-func runMain(ctx context.Context, stdout io.Writer, list bool, exp string, mc int, hours string, seed int64, k int, csv bool, out string) error {
+func runMain(ctx context.Context, stdout io.Writer, list bool, exp string, mc int, hours string, seed int64, k, workers int, csv bool, out string) error {
 	if list || exp == "" {
 		fmt.Fprintln(stdout, "available experiments:")
 		for _, e := range experiments.Registry() {
@@ -78,6 +113,7 @@ func runMain(ctx context.Context, stdout io.Writer, list bool, exp string, mc in
 	if k > 0 {
 		cfg.CandidatePaths = k
 	}
+	cfg.Workers = workers
 	if hours != "" {
 		cfg.Hours = nil
 		for _, part := range strings.Split(hours, ",") {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"os"
 	"strings"
 	"testing"
 )
@@ -48,5 +49,30 @@ func TestNoArgsIsAnError(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "available experiments") {
 		t.Error("no-arg run does not print the experiment list")
+	}
+}
+
+// TestProfileFlagsWriteFiles runs a tiny experiment with the profiling
+// flags and -workers and checks both pprof files appear and are non-empty.
+func TestProfileFlagsWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := dir + "/cpu.pprof"
+	mem := dir + "/mem.pprof"
+	var out, errOut strings.Builder
+	code := run(context.Background(), []string{
+		"-exp", "table1", "-workers", "2",
+		"-cpuprofile", cpu, "-memprofile", mem,
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("run exited %d: %s", code, errOut.String())
+	}
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
 	}
 }

@@ -92,6 +92,12 @@ type AlternatingOptions struct {
 	// Seed seeds the rounding generator when Rng is nil; zero means
 	// rng.DefaultSeed.
 	Seed int64
+	// Workers bounds the worker pool of both subproblem solvers (the
+	// per-path saving enumeration and the independent min-cost flow fast
+	// path). Zero or negative means GOMAXPROCS; the result is identical
+	// for any worker count (see internal/par). A Workers set explicitly
+	// on Routing takes precedence for the routing step.
+	Workers int
 }
 
 // Alternating runs the paper's alternating optimization: starting from a
@@ -128,6 +134,9 @@ func AlternatingContext(ctx context.Context, s *placement.Spec, opts Alternating
 	if ropts.Rng == nil {
 		ropts.Rng = opts.Rng
 	}
+	if ropts.Workers == 0 {
+		ropts.Workers = opts.Workers
+	}
 	pl := opts.Initial
 	if pl == nil {
 		pl = s.NewPlacement()
@@ -145,7 +154,10 @@ func AlternatingContext(ctx context.Context, s *placement.Spec, opts Alternating
 		}
 		// Placement step: the serving paths of the incumbent routing
 		// define F_{r,f}; fractional path rates are handled natively.
-		newPl, err := placement.PlacePerPathContext(ctx, s, best.Routing.Paths, opts.PlacementMethod)
+		newPl, err := placement.PlacePerPathOpts(ctx, s, best.Routing.Paths, placement.PerPathOptions{
+			Method:  opts.PlacementMethod,
+			Workers: opts.Workers,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("core: iteration %d placement: %w", iter, err)
 		}

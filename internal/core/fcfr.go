@@ -1,9 +1,9 @@
 package core
 
 import (
-	"fmt"
 	"math"
 
+	"jcr/internal/core/lputil"
 	"jcr/internal/lp"
 	"jcr/internal/placement"
 )
@@ -57,6 +57,7 @@ func SolveFCFR(s *placement.Spec) (*FCFRResult, error) {
 	for vi, v := range nodes {
 		cacheIdxOf[v] = vi
 	}
+	row := lp.NewRowBuilder(p)
 	for k, rq := range reqs {
 		lam := s.Rates[rq.Item][rq.Node]
 		for e := 0; e < m; e++ {
@@ -64,12 +65,12 @@ func SolveFCFR(s *placement.Spec) (*FCFRResult, error) {
 			p.SetObjectiveCoeff(fIdx(k, e), lam*g.Arc(e).Cost)
 		}
 		// (1d): sum_v r = 1.
-		idx := make([]int, n)
-		val := make([]float64, n)
 		for v := 0; v < n; v++ {
-			idx[v], val[v] = rIdx(k, v), 1
+			row.Add(rIdx(k, v), 1)
 		}
-		p.AddConstraint(idx, val, lp.EQ, 1)
+		if err := row.Constrain(lp.EQ, 1); err != nil {
+			return nil, err
+		}
 		// (1e) and variable classes for r.
 		for v := 0; v < n; v++ {
 			switch {
@@ -77,32 +78,32 @@ func SolveFCFR(s *placement.Spec) (*FCFRResult, error) {
 				p.SetBounds(rIdx(k, v), 0, 1)
 			case cacheIdxOf[v] >= 0:
 				p.SetBounds(rIdx(k, v), 0, 1)
-				p.AddConstraint(
-					[]int{rIdx(k, v), xIdx(cacheIdxOf[v], rq.Item)},
-					[]float64{1, -1}, lp.LE, 0)
+				row.Add(rIdx(k, v), 1)
+				row.Add(xIdx(cacheIdxOf[v], rq.Item), -1)
+				if err := row.Constrain(lp.LE, 0); err != nil {
+					return nil, err
+				}
 			default:
 				p.SetBounds(rIdx(k, v), 0, 0)
 			}
 		}
-		// (1c): flow conservation per node.
+		// (1c): flow conservation per node (self-loop arcs coalesce to a
+		// zero coefficient via the row builder).
 		for u := 0; u < n; u++ {
-			var ci []int
-			var cv []float64
 			for _, e := range g.Out(u) {
-				ci = append(ci, fIdx(k, e))
-				cv = append(cv, 1)
+				row.Add(fIdx(k, e), 1)
 			}
 			for _, e := range g.In(u) {
-				ci = append(ci, fIdx(k, e))
-				cv = append(cv, -1)
+				row.Add(fIdx(k, e), -1)
 			}
-			ci = append(ci, rIdx(k, u))
-			cv = append(cv, -1)
+			row.Add(rIdx(k, u), -1)
 			rhs := 0.0
 			if u == rq.Node {
 				rhs = -1
 			}
-			p.AddConstraint(ci, cv, lp.EQ, rhs)
+			if err := row.Constrain(lp.EQ, rhs); err != nil {
+				return nil, err
+			}
 		}
 	}
 	// (1b): link capacities.
@@ -111,32 +112,30 @@ func SolveFCFR(s *placement.Spec) (*FCFRResult, error) {
 		if math.IsInf(c, 1) {
 			continue
 		}
-		idx := make([]int, len(reqs))
-		val := make([]float64, len(reqs))
 		for k, rq := range reqs {
-			idx[k] = fIdx(k, e)
-			val[k] = s.Rates[rq.Item][rq.Node]
+			row.Add(fIdx(k, e), s.Rates[rq.Item][rq.Node])
 		}
-		p.AddConstraint(idx, val, lp.LE, c)
+		if err := row.Constrain(lp.LE, c); err != nil {
+			return nil, err
+		}
 	}
 	// (1f): cache capacities (sizes for the Section 5 model).
 	for vi, v := range nodes {
-		idx := make([]int, s.NumItems)
-		val := make([]float64, s.NumItems)
 		for i := 0; i < s.NumItems; i++ {
-			idx[i], val[i] = xIdx(vi, i), s.Size(i)
+			row.Add(xIdx(vi, i), s.Size(i))
 		}
-		p.AddConstraint(idx, val, lp.LE, s.CacheCap[v])
+		if err := row.Constrain(lp.LE, s.CacheCap[v]); err != nil {
+			return nil, err
+		}
 	}
-	sol, err := p.Solve()
+	sol, err := lputil.Solve(nil, "core: FC-FR LP", p)
 	if err != nil {
-		return nil, fmt.Errorf("core: FC-FR LP: %w", err)
+		return nil, err
 	}
 	res := &FCFRResult{Cost: sol.Objective, X: emptyX(s)}
+	xg := lputil.ExtractGrid(sol.X, 0, len(nodes), s.NumItems, nil)
 	for vi, v := range nodes {
-		for i := 0; i < s.NumItems; i++ {
-			res.X[v][i] = sol.X[xIdx(vi, i)]
-		}
+		copy(res.X[v], xg[vi])
 	}
 	return res, nil
 }

@@ -21,28 +21,29 @@ func Fig11(cfg *Config) ([]Figure, error) {
 		sub := *cfg
 		sub.NumVideos = nv
 		sc := NewScenario(&sub, nil)
-		n := 0
-		for _, hour := range cfg.Hours {
-			for mc := 0; mc < cfg.MonteCarloRuns; mc++ {
-				n++
-				for _, mode := range fig5Modes {
-					tag := modeTag(mode)
-					run, err := sc.MakeRun(RunParams{Mode: mode, Hour: hour, MCSeed: int64(mc)})
-					if err != nil {
-						return nil, err
-					}
-					results, err := runGeneralMethods(cfg, run)
-					if err != nil {
-						return nil, fmt.Errorf("Fig11 #videos=%d: %w", nv, err)
-					}
-					for _, r := range results {
-						cCost.series(r.Name+" ("+tag+")").addPoint(float64(nv), r.Cost)
-						cCong.series(r.Name+" ("+tag+")").addPoint(float64(nv), r.Congestion)
-					}
+		ss := hourSamples(cfg)
+		err := runSampleSet(nil, cfg, ss, func(s *sample) error {
+			for _, mode := range fig5Modes {
+				tag := modeTag(mode)
+				run, err := sc.MakeRun(RunParams{Mode: mode, Hour: s.Hour, MCSeed: int64(s.MC)})
+				if err != nil {
+					return err
+				}
+				results, err := runGeneralMethods(cfg, run)
+				if err != nil {
+					return fmt.Errorf("Fig11 #videos=%d: %w", nv, err)
+				}
+				for _, r := range results {
+					s.add(cCost, r.Name+" ("+tag+")", float64(nv), r.Cost)
+					s.add(cCong, r.Name+" ("+tag+")", float64(nv), r.Congestion)
 				}
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		samples = n
+		samples = len(ss)
 	}
 	note := fmt.Sprintf("averaged over %d samples per point", samples)
 	cCost.finish(samples, note)
@@ -62,38 +63,39 @@ func Fig12(cfg *Config) ([]Figure, error) {
 	}
 	cCost := newCollector(&figs[0])
 	cCong := newCollector(&figs[1])
-	samples := 0
-	for _, hour := range cfg.Hours {
-		for mc := 0; mc < cfg.MonteCarloRuns; mc++ {
-			samples++
-			for _, mode := range fig5Modes {
-				tag := modeTag(mode)
-				for _, chunkMB := range []float64{25, 50, 100} {
-					run, err := sc.MakeRun(RunParams{
-						ChunkMB: chunkMB,
-						// Same cache bytes: 12 x 100 MB.
-						CacheSlots: cfg.ChunkSlots * demand.DefaultChunkMB / chunkMB,
-						Mode:       mode, Hour: hour, MCSeed: int64(mc),
-					})
-					if err != nil {
-						return nil, err
-					}
-					results, err := runGeneralMethods(cfg, run)
-					if err != nil {
-						return nil, fmt.Errorf("Fig12 chunkMB=%v: %w", chunkMB, err)
-					}
-					for _, r := range results {
-						// Normalize cost to MB so chunk sizes compare.
-						cCost.series(r.Name+" ("+tag+")").addPoint(chunkMB, r.Cost*chunkMB/demand.DefaultChunkMB)
-						cCong.series(r.Name+" ("+tag+")").addPoint(chunkMB, r.Congestion)
-					}
+	samples := hourSamples(cfg)
+	err := runSampleSet(nil, cfg, samples, func(s *sample) error {
+		for _, mode := range fig5Modes {
+			tag := modeTag(mode)
+			for _, chunkMB := range []float64{25, 50, 100} {
+				run, err := sc.MakeRun(RunParams{
+					ChunkMB: chunkMB,
+					// Same cache bytes: 12 x 100 MB.
+					CacheSlots: cfg.ChunkSlots * demand.DefaultChunkMB / chunkMB,
+					Mode:       mode, Hour: s.Hour, MCSeed: int64(s.MC),
+				})
+				if err != nil {
+					return err
+				}
+				results, err := runGeneralMethods(cfg, run)
+				if err != nil {
+					return fmt.Errorf("Fig12 chunkMB=%v: %w", chunkMB, err)
+				}
+				for _, r := range results {
+					// Normalize cost to MB so chunk sizes compare.
+					s.add(cCost, r.Name+" ("+tag+")", chunkMB, r.Cost*chunkMB/demand.DefaultChunkMB)
+					s.add(cCong, r.Name+" ("+tag+")", chunkMB, r.Congestion)
 				}
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	note := fmt.Sprintf("averaged over %d samples", samples)
-	cCost.finish(samples, note)
-	cCong.finish(samples, note)
+	note := fmt.Sprintf("averaged over %d samples", len(samples))
+	cCost.finish(len(samples), note)
+	cCong.finish(len(samples), note)
 	return figs, nil
 }
 
@@ -107,32 +109,33 @@ func Fig13(cfg *Config) ([]Figure, error) {
 	}
 	cCost := newCollector(&figs[0])
 	cCong := newCollector(&figs[1])
-	samples := 0
-	for _, hour := range cfg.Hours {
-		for mc := 0; mc < cfg.MonteCarloRuns; mc++ {
-			samples++
-			for _, sigma := range []float64{0, 0.2, 0.5, 1.0} {
-				run, err := sc.MakeRun(RunParams{
-					Mode: SyntheticError, SigmaFrac: sigma,
-					Hour: hour, MCSeed: int64(mc),
-				})
-				if err != nil {
-					return nil, err
-				}
-				results, err := runGeneralMethods(cfg, run)
-				if err != nil {
-					return nil, fmt.Errorf("Fig13 sigma=%v: %w", sigma, err)
-				}
-				for _, r := range results {
-					cCost.series(r.Name).addPoint(sigma, r.Cost)
-					cCong.series(r.Name).addPoint(sigma, r.Congestion)
-				}
+	samples := hourSamples(cfg)
+	err := runSampleSet(nil, cfg, samples, func(s *sample) error {
+		for _, sigma := range []float64{0, 0.2, 0.5, 1.0} {
+			run, err := sc.MakeRun(RunParams{
+				Mode: SyntheticError, SigmaFrac: sigma,
+				Hour: s.Hour, MCSeed: int64(s.MC),
+			})
+			if err != nil {
+				return err
+			}
+			results, err := runGeneralMethods(cfg, run)
+			if err != nil {
+				return fmt.Errorf("Fig13 sigma=%v: %w", sigma, err)
+			}
+			for _, r := range results {
+				s.add(cCost, r.Name, sigma, r.Cost)
+				s.add(cCong, r.Name, sigma, r.Congestion)
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	note := fmt.Sprintf("averaged over %d samples", samples)
-	cCost.finish(samples, note)
-	cCong.finish(samples, note)
+	note := fmt.Sprintf("averaged over %d samples", len(samples))
+	cCost.finish(len(samples), note)
+	cCong.finish(len(samples), note)
 	return figs, nil
 }
 
@@ -159,31 +162,32 @@ func Fig15(cfg *Config) ([]Figure, error) {
 	samples := 0
 	for ni, nt := range nets {
 		sc := NewScenario(cfg, nt.mk(cfg.Seed))
-		n := 0
-		for _, hour := range cfg.Hours {
-			for mc := 0; mc < cfg.MonteCarloRuns; mc++ {
-				n++
-				for _, mode := range fig5Modes {
-					tag := modeTag(mode)
-					run, err := sc.MakeRun(RunParams{
-						CapacityFrac: absoluteCapacity(sc, gbpsChunksPerHour, hour),
-						Mode:         mode, Hour: hour, MCSeed: int64(mc),
-					})
-					if err != nil {
-						return nil, err
-					}
-					results, err := runGeneralMethods(cfg, run)
-					if err != nil {
-						return nil, fmt.Errorf("Fig15 %s: %w", nt.name, err)
-					}
-					for _, r := range results {
-						cCost.series(r.Name+" ("+tag+")").addPoint(float64(ni), r.Cost)
-						cCong.series(r.Name+" ("+tag+")").addPoint(float64(ni), r.Congestion)
-					}
+		ss := hourSamples(cfg)
+		err := runSampleSet(nil, cfg, ss, func(s *sample) error {
+			for _, mode := range fig5Modes {
+				tag := modeTag(mode)
+				run, err := sc.MakeRun(RunParams{
+					CapacityFrac: absoluteCapacity(sc, gbpsChunksPerHour, s.Hour),
+					Mode:         mode, Hour: s.Hour, MCSeed: int64(s.MC),
+				})
+				if err != nil {
+					return err
+				}
+				results, err := runGeneralMethods(cfg, run)
+				if err != nil {
+					return fmt.Errorf("Fig15 %s: %w", nt.name, err)
+				}
+				for _, r := range results {
+					s.add(cCost, r.Name+" ("+tag+")", float64(ni), r.Cost)
+					s.add(cCong, r.Name+" ("+tag+")", float64(ni), r.Congestion)
 				}
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		samples = n
+		samples = len(ss)
 	}
 	note := fmt.Sprintf("averaged over %d samples per topology", samples)
 	cCost.finish(samples, note)

@@ -41,6 +41,13 @@ type Config struct {
 	GPRWindow int
 	// TraceHours is the total synthesized trace length.
 	TraceHours int
+	// Workers bounds the Monte-Carlo worker pool (and is threaded into
+	// the solvers' own pools). Zero or negative means GOMAXPROCS. The
+	// rendered output is bit-for-bit identical for any worker count: each
+	// sample derives its randomness from (Seed, run index) alone and
+	// recorded points are replayed in sequential sample order (see
+	// internal/par and samples.go).
+	Workers int
 }
 
 // DefaultConfig returns the Section 6 defaults.

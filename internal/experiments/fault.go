@@ -43,14 +43,16 @@ func FigFault(ctx context.Context, cfg *Config, window int) ([]Figure, error) {
 	cServed := newCollector(&figs[2])
 	cStale := newCollector(&figs[3])
 
-	for mc := 0; mc < cfg.MonteCarloRuns; mc++ {
+	samples := mcSamples(cfg)
+	err := runSampleSet(ctx, cfg, samples, func(s *sample) error {
+		mc := s.MC
 		// One workload per Monte-Carlo run; every intensity and policy
 		// sees the same hours, so curves differ only by the faults.
 		base := make([]*Run, window)
 		for h := 0; h < window; h++ {
 			run, err := sc.MakeRun(RunParams{Mode: GPRPrediction, Hour: startHour + h, MCSeed: int64(mc)})
 			if err != nil {
-				return nil, fmt.Errorf("fault mc %d hour %d: %w", mc, h, err)
+				return fmt.Errorf("fault mc %d hour %d: %w", mc, h, err)
 			}
 			base[h] = run
 		}
@@ -58,11 +60,11 @@ func FigFault(ctx context.Context, cfg *Config, window int) ([]Figure, error) {
 			scenario, err := buildFaultScenario(sc, base[0].Decision.G, window, intensity,
 				cfg.Seed+90000+int64(mc)*100+int64(ii))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			hours, err := degradeHours(scenario, base, startHour)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			for _, pol := range faultPolicies(sc) {
 				series, err := online.Run(ctx, pol, hours, online.Options{
@@ -71,7 +73,7 @@ func FigFault(ctx context.Context, cfg *Config, window int) ([]Figure, error) {
 					Validate:   true,
 				})
 				if err != nil {
-					return nil, fmt.Errorf("fault mc %d intensity %g policy %s: %w", mc, intensity, pol.Name(), err)
+					return fmt.Errorf("fault mc %d intensity %g policy %s: %w", mc, intensity, pol.Name(), err)
 				}
 				var cost, cong float64
 				for _, h := range series.Hours {
@@ -79,12 +81,16 @@ func FigFault(ctx context.Context, cfg *Config, window int) ([]Figure, error) {
 					cong += h.Congestion
 				}
 				n := float64(len(series.Hours))
-				cCost.series(series.Policy).addPoint(intensity, cost/n)
-				cCong.series(series.Policy).addPoint(intensity, cong/n)
-				cServed.series(series.Policy).addPoint(intensity, series.ServedFraction())
-				cStale.series(series.Policy).addPoint(intensity, float64(series.DegradedHours()))
+				s.add(cCost, series.Policy, intensity, cost/n)
+				s.add(cCong, series.Policy, intensity, cong/n)
+				s.add(cServed, series.Policy, intensity, series.ServedFraction())
+				s.add(cStale, series.Policy, intensity, float64(series.DegradedHours()))
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	note := fmt.Sprintf("%d-hour window from collection hour %d; %d MC runs; scripted cache failure, link degradation and demand surge ride on the random link outages at every intensity > 0",
 		window, startHour, cfg.MonteCarloRuns)

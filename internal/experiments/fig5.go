@@ -41,69 +41,70 @@ func Fig5(cfg *Config) ([]Figure, error) {
 	cFileCost := newCollector(&fileCost)
 	cFileOcc := newCollector(&fileOcc)
 	cFileK := newCollector(&fileK)
-	samples := 0
-	for _, hour := range cfg.Hours {
-		for mc := 0; mc < cfg.MonteCarloRuns; mc++ {
-			samples++
-			for _, mode := range fig5Modes {
-				tag := modeTag(mode)
-				// ---- chunk level: cost vs zeta ----
-				for _, zeta := range []float64{4, 8, 12, 16, 20} {
-					run, err := sc.MakeRun(RunParams{
-						CapacityFrac: -1, CacheSlots: zeta,
-						Mode: mode, Hour: hour, MCSeed: int64(mc),
-					})
-					if err != nil {
-						return nil, err
-					}
-					costs, err := fig5ChunkMethods(cfg, run)
-					if err != nil {
-						return nil, fmt.Errorf("Fig5a zeta=%v: %w", zeta, err)
-					}
-					for _, name := range sortedNames(costs) {
-						cChunk.series(name+" ("+tag+")").addPoint(zeta, costs[name])
-					}
+	samples := hourSamples(cfg)
+	err := runSampleSet(nil, cfg, samples, func(s *sample) error {
+		for _, mode := range fig5Modes {
+			tag := modeTag(mode)
+			// ---- chunk level: cost vs zeta ----
+			for _, zeta := range []float64{4, 8, 12, 16, 20} {
+				run, err := sc.MakeRun(RunParams{
+					CapacityFrac: -1, CacheSlots: zeta,
+					Mode: mode, Hour: s.Hour, MCSeed: int64(s.MC),
+				})
+				if err != nil {
+					return err
 				}
-				// ---- file level: cost and occupancy vs zeta ----
-				for _, zeta := range []float64{1, 2, 3} {
-					run, err := sc.MakeRun(RunParams{
-						FileLevel: true, CapacityFrac: -1, CacheSlots: zeta,
-						Mode: mode, Hour: hour, MCSeed: int64(mc),
-					})
-					if err != nil {
-						return nil, err
-					}
-					res, err := fig5FileMethods(cfg, run, cfg.CandidatePaths)
-					if err != nil {
-						return nil, fmt.Errorf("Fig5b zeta=%v: %w", zeta, err)
-					}
-					for _, name := range sortedNames(res) {
-						cFileCost.series(name+" ("+tag+")").addPoint(zeta, res[name].cost)
-						cFileOcc.series(name+" ("+tag+")").addPoint(zeta, res[name].occupancy)
-					}
+				costs, err := fig5ChunkMethods(cfg, run)
+				if err != nil {
+					return fmt.Errorf("Fig5a zeta=%v: %w", zeta, err)
 				}
-				// ---- file level: cost vs k for [3] ----
-				for _, k := range []int{2, 5, 10, 15} {
-					run, err := sc.MakeRun(RunParams{
-						FileLevel: true, CapacityFrac: -1,
-						Mode: mode, Hour: hour, MCSeed: int64(mc),
-					})
-					if err != nil {
-						return nil, err
-					}
-					res, err := fig5FileMethods(cfg, run, k)
-					if err != nil {
-						return nil, fmt.Errorf("Fig5d k=%d: %w", k, err)
-					}
-					cFileK.series("greedy (ours, "+tag+")").addPoint(float64(k), res["greedy (ours)"].cost)
-					cFileK.series("k shortest paths [3] ("+tag+")").addPoint(float64(k), res["k shortest paths [3]"].cost)
+				for _, name := range sortedNames(costs) {
+					s.add(cChunk, name+" ("+tag+")", zeta, costs[name])
 				}
 			}
+			// ---- file level: cost and occupancy vs zeta ----
+			for _, zeta := range []float64{1, 2, 3} {
+				run, err := sc.MakeRun(RunParams{
+					FileLevel: true, CapacityFrac: -1, CacheSlots: zeta,
+					Mode: mode, Hour: s.Hour, MCSeed: int64(s.MC),
+				})
+				if err != nil {
+					return err
+				}
+				res, err := fig5FileMethods(cfg, run, cfg.CandidatePaths)
+				if err != nil {
+					return fmt.Errorf("Fig5b zeta=%v: %w", zeta, err)
+				}
+				for _, name := range sortedNames(res) {
+					s.add(cFileCost, name+" ("+tag+")", zeta, res[name].cost)
+					s.add(cFileOcc, name+" ("+tag+")", zeta, res[name].occupancy)
+				}
+			}
+			// ---- file level: cost vs k for [3] ----
+			for _, k := range []int{2, 5, 10, 15} {
+				run, err := sc.MakeRun(RunParams{
+					FileLevel: true, CapacityFrac: -1,
+					Mode: mode, Hour: s.Hour, MCSeed: int64(s.MC),
+				})
+				if err != nil {
+					return err
+				}
+				res, err := fig5FileMethods(cfg, run, k)
+				if err != nil {
+					return fmt.Errorf("Fig5d k=%d: %w", k, err)
+				}
+				s.add(cFileK, "greedy (ours, "+tag+")", float64(k), res["greedy (ours)"].cost)
+				s.add(cFileK, "k shortest paths [3] ("+tag+")", float64(k), res["k shortest paths [3]"].cost)
+			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	note := fmt.Sprintf("averaged over %d samples (%d hours x %d Monte-Carlo runs)", samples, len(cfg.Hours), cfg.MonteCarloRuns)
+	note := fmt.Sprintf("averaged over %d samples (%d hours x %d Monte-Carlo runs)", len(samples), len(cfg.Hours), cfg.MonteCarloRuns)
 	for _, c := range []*collector{cChunk, cFileCost, cFileOcc, cFileK} {
-		c.finish(samples, note)
+		c.finish(len(samples), note)
 	}
 	return []Figure{chunkCost, fileCost, fileOcc, fileK}, nil
 }

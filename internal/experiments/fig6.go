@@ -106,95 +106,96 @@ func Fig6(cfg *Config) ([]Figure, error) {
 	// lambda_max somewhat below c_min as Theorem 4.7's regime requires.
 	capFracs := []float64{0.007, 0.015, 0.035, 0.07}
 	ks := []int{1, 2, 5, 10, 100, 1000}
-	samples := 0
-	for _, hour := range cfg.Hours {
-		for mc := 0; mc < cfg.MonteCarloRuns; mc++ {
-			samples++
-			for _, mode := range fig5Modes {
-				tag := modeTag(mode)
-				for _, fileLevel := range []bool{false, true} {
-					costFig, congFig := cChunkCost, cChunkCong
-					if fileLevel {
-						costFig, congFig = cFileCost, cFileCong
-					}
-					for _, cf := range capFracs {
-						run, err := sc.MakeRun(RunParams{
-							FileLevel: fileLevel, CapacityFrac: cf,
-							Mode: mode, Hour: hour, MCSeed: int64(mc),
-						})
-						if err != nil {
-							return nil, err
-						}
-						fi := newFig6Instance(run, run.Decision)
-						record := func(name string, asgn *msufp.Assignment) error {
-							cost, cong, err := fi.evaluateOnTruth(run, asgn)
-							if err != nil {
-								return err
-							}
-							costFig.series(name+" ("+tag+")").addPoint(cf, cost)
-							congFig.series(name+" ("+tag+")").addPoint(cf, cong)
-							return nil
-						}
-						a1000, err := msufp.SolveAlg2(fi.inst, 1000)
-						if err != nil {
-							return nil, fmt.Errorf("Fig6 Alg2 K=1000: %w", err)
-						}
-						if err := record("Alg.2 K=1000 (ours)", a1000); err != nil {
-							return nil, err
-						}
-						a2, err := msufp.SolveAlg2(fi.inst, 2)
-						if err != nil {
-							return nil, fmt.Errorf("Fig6 [33] K=2: %w", err)
-						}
-						if err := record("[33] (K=2)", a2); err != nil {
-							return nil, err
-						}
-						rnr, err := msufp.SolveRNR(fi.inst)
-						if err != nil {
-							return nil, fmt.Errorf("Fig6 RNR: %w", err)
-						}
-						if err := record("RNR [3]", rnr); err != nil {
-							return nil, err
-						}
-						// Splittable lower bound on the TRUE demand.
-						truthFi := newFig6Instance(run, run.Truth)
-						split, err := truthFi.inst.SplittableOptimum()
-						if err != nil {
-							return nil, fmt.Errorf("Fig6 splittable: %w", err)
-						}
-						costFig.series("splittable flow ("+tag+")").addPoint(cf, split.Cost)
-					}
-					if fileLevel {
-						continue
-					}
-					// Congestion vs K at Fig. 6's default capacity
-					// (the paper's 15 Gbps, ~3.5% of total rate).
+	samples := hourSamples(cfg)
+	err := runSampleSet(nil, cfg, samples, func(s *sample) error {
+		for _, mode := range fig5Modes {
+			tag := modeTag(mode)
+			for _, fileLevel := range []bool{false, true} {
+				costFig, congFig := cChunkCost, cChunkCong
+				if fileLevel {
+					costFig, congFig = cFileCost, cFileCong
+				}
+				for _, cf := range capFracs {
 					run, err := sc.MakeRun(RunParams{
-						CapacityFrac: 0.035,
-						Mode:         mode, Hour: hour, MCSeed: int64(mc),
+						FileLevel: fileLevel, CapacityFrac: cf,
+						Mode: mode, Hour: s.Hour, MCSeed: int64(s.MC),
 					})
 					if err != nil {
-						return nil, err
+						return err
 					}
 					fi := newFig6Instance(run, run.Decision)
-					for _, k := range ks {
-						asgn, err := msufp.SolveAlg2(fi.inst, k)
+					record := func(name string, asgn *msufp.Assignment) error {
+						cost, cong, err := fi.evaluateOnTruth(run, asgn)
 						if err != nil {
-							return nil, fmt.Errorf("Fig6e K=%d: %w", k, err)
+							return err
 						}
-						_, cong, err := fi.evaluateOnTruth(run, asgn)
-						if err != nil {
-							return nil, err
-						}
-						cVaryK.series("Alg.2 ("+tag+")").addPoint(float64(k), cong)
+						s.add(costFig, name+" ("+tag+")", cf, cost)
+						s.add(congFig, name+" ("+tag+")", cf, cong)
+						return nil
 					}
+					a1000, err := msufp.SolveAlg2(fi.inst, 1000)
+					if err != nil {
+						return fmt.Errorf("Fig6 Alg2 K=1000: %w", err)
+					}
+					if err := record("Alg.2 K=1000 (ours)", a1000); err != nil {
+						return err
+					}
+					a2, err := msufp.SolveAlg2(fi.inst, 2)
+					if err != nil {
+						return fmt.Errorf("Fig6 [33] K=2: %w", err)
+					}
+					if err := record("[33] (K=2)", a2); err != nil {
+						return err
+					}
+					rnr, err := msufp.SolveRNR(fi.inst)
+					if err != nil {
+						return fmt.Errorf("Fig6 RNR: %w", err)
+					}
+					if err := record("RNR [3]", rnr); err != nil {
+						return err
+					}
+					// Splittable lower bound on the TRUE demand.
+					truthFi := newFig6Instance(run, run.Truth)
+					split, err := truthFi.inst.SplittableOptimum()
+					if err != nil {
+						return fmt.Errorf("Fig6 splittable: %w", err)
+					}
+					s.add(costFig, "splittable flow ("+tag+")", cf, split.Cost)
+				}
+				if fileLevel {
+					continue
+				}
+				// Congestion vs K at Fig. 6's default capacity
+				// (the paper's 15 Gbps, ~3.5% of total rate).
+				run, err := sc.MakeRun(RunParams{
+					CapacityFrac: 0.035,
+					Mode:         mode, Hour: s.Hour, MCSeed: int64(s.MC),
+				})
+				if err != nil {
+					return err
+				}
+				fi := newFig6Instance(run, run.Decision)
+				for _, k := range ks {
+					asgn, err := msufp.SolveAlg2(fi.inst, k)
+					if err != nil {
+						return fmt.Errorf("Fig6e K=%d: %w", k, err)
+					}
+					_, cong, err := fi.evaluateOnTruth(run, asgn)
+					if err != nil {
+						return err
+					}
+					s.add(cVaryK, "Alg.2 ("+tag+")", float64(k), cong)
 				}
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	note := fmt.Sprintf("averaged over %d samples", samples)
+	note := fmt.Sprintf("averaged over %d samples", len(samples))
 	for _, c := range []*collector{cChunkCost, cChunkCong, cFileCost, cFileCong, cVaryK} {
-		c.finish(samples, note)
+		c.finish(len(samples), note)
 	}
 	return []Figure{chunkCost, chunkCong, fileCost, fileCong, varyK}, nil
 }

@@ -34,7 +34,7 @@ func runGeneralMethods(cfg *Config, run *Run) ([]generalResult, error) {
 	origin := run.Scenario.Net.Origin
 	out := make([]generalResult, 0, 4)
 
-	sol, err := core.Alternating(run.Decision, core.AlternatingOptions{})
+	sol, err := core.Alternating(run.Decision, core.AlternatingOptions{Workers: cfg.Workers})
 	if err != nil {
 		return nil, fmt.Errorf("alternating: %w", err)
 	}
@@ -111,42 +111,43 @@ func generalSweep(cfg *Config, sc *Scenario, base RunParams, xs []float64, apply
 	if occFig != nil {
 		cOcc = newCollector(occFig)
 	}
-	samples := 0
-	for _, hour := range cfg.Hours {
-		for mc := 0; mc < cfg.MonteCarloRuns; mc++ {
-			samples++
-			for _, mode := range fig5Modes {
-				tag := modeTag(mode)
-				for _, x := range xs {
-					p := base
-					p.Hour = hour
-					p.MCSeed = int64(mc)
-					p.Mode = mode
-					apply(&p, x)
-					run, err := sc.MakeRun(p)
-					if err != nil {
-						return err
-					}
-					results, err := runGeneralMethods(cfg, run)
-					if err != nil {
-						return fmt.Errorf("%s x=%v: %w", costFig.ID, x, err)
-					}
-					for _, r := range results {
-						cCost.series(r.Name+" ("+tag+")").addPoint(x, r.Cost)
-						cCong.series(r.Name+" ("+tag+")").addPoint(x, r.Congestion)
-						if cOcc != nil {
-							cOcc.series(r.Name+" ("+tag+")").addPoint(x, r.Occupancy)
-						}
+	samples := hourSamples(cfg)
+	err := runSampleSet(nil, cfg, samples, func(s *sample) error {
+		for _, mode := range fig5Modes {
+			tag := modeTag(mode)
+			for _, x := range xs {
+				p := base
+				p.Hour = s.Hour
+				p.MCSeed = int64(s.MC)
+				p.Mode = mode
+				apply(&p, x)
+				run, err := sc.MakeRun(p)
+				if err != nil {
+					return err
+				}
+				results, err := runGeneralMethods(cfg, run)
+				if err != nil {
+					return fmt.Errorf("%s x=%v: %w", costFig.ID, x, err)
+				}
+				for _, r := range results {
+					s.add(cCost, r.Name+" ("+tag+")", x, r.Cost)
+					s.add(cCong, r.Name+" ("+tag+")", x, r.Congestion)
+					if cOcc != nil {
+						s.add(cOcc, r.Name+" ("+tag+")", x, r.Occupancy)
 					}
 				}
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
-	note := fmt.Sprintf("averaged over %d samples", samples)
-	cCost.finish(samples, note)
-	cCong.finish(samples, note)
+	note := fmt.Sprintf("averaged over %d samples", len(samples))
+	cCost.finish(len(samples), note)
+	cCong.finish(len(samples), note)
 	if cOcc != nil {
-		cOcc.finish(samples, note)
+		cOcc.finish(len(samples), note)
 	}
 	return nil
 }

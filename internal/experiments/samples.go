@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"context"
+
+	"jcr/internal/par"
+)
+
+// sample is one Monte-Carlo repetition of an experiment — a cell of the
+// hour x run grid (or a bare run index for hour-less sweeps) plus a
+// private point buffer. Bodies executing on the worker pool must not
+// touch collectors directly (collector is not goroutine-safe and float
+// accumulation order matters for bit-exact reproducibility); they record
+// points through add, and runSampleSet replays all buffers in sequential
+// sample order once the pool drains. Series creation order, point order
+// and floating-point summation order are therefore exactly what the
+// pre-pool sequential loops produced, for any worker count.
+type sample struct {
+	// Hour is the evaluation hour (an entry of Config.Hours; zero and
+	// unused for Monte-Carlo-only sweeps).
+	Hour int
+	// MC is the Monte-Carlo run index, the RunParams.MCSeed value.
+	MC   int
+	recs []pointRec
+}
+
+// pointRec is one deferred collector.series(name).addPoint(x, y) call.
+type pointRec struct {
+	c    *collector
+	name string
+	x, y float64
+}
+
+// add records a point destined for c.series(name).addPoint(x, y).
+func (s *sample) add(c *collector, name string, x, y float64) {
+	s.recs = append(s.recs, pointRec{c, name, x, y})
+}
+
+// hourSamples enumerates the experiments' standard hour x Monte-Carlo
+// grid in the sequential iteration order (hours outer, runs inner).
+func hourSamples(cfg *Config) []*sample {
+	out := make([]*sample, 0, len(cfg.Hours)*cfg.MonteCarloRuns)
+	for _, hour := range cfg.Hours {
+		for mc := 0; mc < cfg.MonteCarloRuns; mc++ {
+			out = append(out, &sample{Hour: hour, MC: mc})
+		}
+	}
+	return out
+}
+
+// mcSamples enumerates a Monte-Carlo-only sweep (no hour axis).
+func mcSamples(cfg *Config) []*sample {
+	out := make([]*sample, cfg.MonteCarloRuns)
+	for mc := range out {
+		out[mc] = &sample{MC: mc}
+	}
+	return out
+}
+
+// runSampleSet executes body once per sample on the bounded worker pool
+// (cfg.Workers wide, zero meaning GOMAXPROCS) and then replays every
+// recorded point into its collector in sample order. Errors surface as
+// in a sequential loop: the lowest-index failing sample's error wins and
+// nothing is replayed on failure.
+func runSampleSet(ctx context.Context, cfg *Config, samples []*sample, body func(*sample) error) error {
+	err := par.Do(ctx, cfg.Workers, len(samples), func(i int) error {
+		return body(samples[i])
+	})
+	if err != nil {
+		return err
+	}
+	for _, s := range samples {
+		for _, r := range s.recs {
+			r.c.series(r.name).addPoint(r.x, r.y)
+		}
+	}
+	return nil
+}

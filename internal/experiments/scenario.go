@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"jcr/internal/demand"
 	"jcr/internal/gpr"
@@ -34,7 +35,12 @@ type Scenario struct {
 	Net    *topo.Network
 	Videos []demand.Video
 	Trace  *demand.Trace
-	// gprCache memoizes per-(video, hour) GPR forecasts.
+	// gprCache memoizes per-(video, hour) GPR forecasts. gprMu guards it:
+	// Monte-Carlo samples run concurrently (see samples.go) and may race
+	// on the same key. The forecast is a pure function of the trace, so a
+	// duplicated computation stores the identical value and the cache's
+	// fill order cannot affect results.
+	gprMu    sync.Mutex
 	gprCache map[[2]int]float64
 }
 
@@ -109,7 +115,10 @@ func (sc *Scenario) decisionViews(p RunParams) ([]float64, error) {
 		views := make([]float64, len(sc.Videos))
 		for v := range sc.Videos {
 			key := [2]int{v, abs}
-			if pred, ok := sc.gprCache[key]; ok {
+			sc.gprMu.Lock()
+			pred, ok := sc.gprCache[key]
+			sc.gprMu.Unlock()
+			if ok {
 				views[v] = pred
 				continue
 			}
@@ -125,8 +134,10 @@ func (sc *Scenario) decisionViews(p RunParams) ([]float64, error) {
 			if err != nil {
 				return nil, fmt.Errorf("experiments: GPR for video %d: %w", v, err)
 			}
-			pred := m.PredictSeries(1)[0]
+			pred = m.PredictSeries(1)[0]
+			sc.gprMu.Lock()
 			sc.gprCache[key] = pred
+			sc.gprMu.Unlock()
 			views[v] = pred
 		}
 		return views, nil

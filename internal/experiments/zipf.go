@@ -25,12 +25,11 @@ func ZipfSweep(cfg *Config) ([]Figure, error) {
 	cCong := newCollector(&figs[1])
 	const numItems = 54
 	const totalRate = 10000.0
-	samples := 0
-	for mc := 0; mc < cfg.MonteCarloRuns; mc++ {
-		samples++
+	samples := mcSamples(cfg)
+	err := runSampleSet(nil, cfg, samples, func(s *sample) error {
 		for _, alpha := range []float64{0.4, 0.8, 1.2} {
 			net := topo.Abovenet(cfg.Seed)
-			rng := rng.Derive(cfg.Seed, 500+int64(mc))
+			rng := rng.Derive(cfg.Seed, 500+int64(s.MC))
 			net.AssignCosts(rng, 100, 200, 1, 20)
 
 			pop := demand.Zipf(numItems, alpha)
@@ -50,7 +49,7 @@ func ZipfSweep(cfg *Config) ([]Figure, error) {
 			}
 			net.SetUniformCapacity(cfg.CapacityFrac * totalRate)
 			if err := net.AugmentFeasibility(edgeTotals); err != nil {
-				return nil, err
+				return err
 			}
 			cacheCap := make([]float64, net.G.NumNodes())
 			for _, v := range net.Edges {
@@ -71,16 +70,20 @@ func ZipfSweep(cfg *Config) ([]Figure, error) {
 			}
 			results, err := runGeneralMethods(cfg, run)
 			if err != nil {
-				return nil, fmt.Errorf("zipf alpha=%v: %w", alpha, err)
+				return fmt.Errorf("zipf alpha=%v: %w", alpha, err)
 			}
 			for _, r := range results {
-				cCost.series(r.Name).addPoint(alpha, r.Cost)
-				cCong.series(r.Name).addPoint(alpha, r.Congestion)
+				s.add(cCost, r.Name, alpha, r.Cost)
+				s.add(cCong, r.Name, alpha, r.Congestion)
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	note := fmt.Sprintf("synthetic Zipf demand, %d items, total rate %.0f, averaged over %d runs", numItems, totalRate, samples)
-	cCost.finish(samples, note)
-	cCong.finish(samples, note)
+	note := fmt.Sprintf("synthetic Zipf demand, %d items, total rate %.0f, averaged over %d runs", numItems, totalRate, len(samples))
+	cCost.finish(len(samples), note)
+	cCong.finish(len(samples), note)
 	return figs, nil
 }

@@ -2,6 +2,7 @@ package flow
 
 import (
 	"fmt"
+	"sort"
 
 	"jcr/internal/graph"
 )
@@ -29,8 +30,15 @@ func Decompose(g *graph.Graph, arcFlow []float64, src graph.NodeID, demand map[g
 	res := append([]float64(nil), arcFlow...)
 	remaining := make(map[graph.NodeID]float64, len(demand))
 	var total float64
-	for t, d := range demand {
-		if d > eps {
+	// Sum demand in sorted sink order: total feeds the tolerances below,
+	// and map iteration order would otherwise leak into their last bits.
+	sinks := make([]graph.NodeID, 0, len(demand))
+	for t := range demand {
+		sinks = append(sinks, t)
+	}
+	sort.Ints(sinks)
+	for _, t := range sinks {
+		if d := demand[t]; d > eps {
 			remaining[t] = d
 			total += d
 		}
@@ -56,11 +64,16 @@ func Decompose(g *graph.Graph, arcFlow []float64, src graph.NodeID, demand map[g
 			if rem, isSink := remaining[v]; isSink && rem > tol && v != src {
 				break
 			}
+			// Follow the largest-residual out-arc. LP-produced flows carry
+			// round-off noise slightly above arcTol on arcs the true
+			// solution leaves empty; the first-positive-arc walk could
+			// follow such an arc into a dead end and wrongly report the
+			// whole flow non-conservative. Real flow always dominates
+			// noise, so the max-residual arc is safe to follow.
 			var next graph.ArcID = -1
 			for _, id := range g.Out(v) {
-				if res[id] > arcTol {
+				if res[id] > arcTol && (next < 0 || res[id] > res[next]) {
 					next = id
-					break
 				}
 			}
 			if next < 0 {

@@ -10,19 +10,20 @@ import (
 )
 
 // TestDecomposeCancelsResidualCycleOnPath covers the cycle-cancellation
-// branch where the walk actually enters the cycle: the first out-arc of
-// node 1 leads into the detour 1->2->1, so the walk revisits 1 and must
-// cancel the cycle before it can reach the sink.
+// branch where the walk actually enters the cycle: the detour 1->2->1
+// carries more residual than the direct arc to the sink, so the
+// max-residual walk takes it, revisits 1, and must cancel the cycle
+// before it can reach the sink.
 func TestDecomposeCancelsResidualCycleOnPath(t *testing.T) {
 	g := graph.New(4)
 	a01 := g.AddArc(0, 1, 1, 5)
-	a12 := g.AddArc(1, 2, 1, 5) // first out-arc of 1: walk takes the detour
+	a12 := g.AddArc(1, 2, 1, 5) // largest residual at 1: walk takes the detour
 	a21 := g.AddArc(2, 1, 1, 5)
 	a13 := g.AddArc(1, 3, 1, 5)
 	arcFlow := make([]float64, 4)
 	arcFlow[a01] = 2
-	arcFlow[a12] = 1
-	arcFlow[a21] = 1
+	arcFlow[a12] = 3
+	arcFlow[a21] = 3
 	arcFlow[a13] = 2
 	paths, err := Decompose(g, arcFlow, 0, map[graph.NodeID]float64{3: 2})
 	if err != nil {
@@ -66,6 +67,35 @@ func TestDecomposeZeroFlowArcsAfterCancellation(t *testing.T) {
 	for _, id := range []graph.ArcID{a01, a13} {
 		if math.Abs(rec[id]-arcFlow[id]) > 1e-9 {
 			t.Errorf("path arc %d recomposed to %v, want %v", id, rec[id], arcFlow[id])
+		}
+	}
+}
+
+// TestDecomposeIgnoresLPNoiseArcs is the regression for the multicommodity
+// LP call sites: simplex solutions carry round-off residue slightly above
+// the walk tolerance on arcs the true flow leaves empty. A
+// first-positive-arc walk follows the noise arc 0->4 into a dead end and
+// wrongly reports the (conservative) flow stuck; the max-residual walk
+// must route the full demand along the real path.
+func TestDecomposeIgnoresLPNoiseArcs(t *testing.T) {
+	g := graph.New(5)
+	n04 := g.AddArc(0, 4, 1, 5) // dead-end noise arc, deliberately first
+	a01 := g.AddArc(0, 1, 1, 25)
+	a13 := g.AddArc(1, 3, 1, 25)
+	arcFlow := make([]float64, 3)
+	arcFlow[n04] = 1e-9 // above arcTol, below any real flow
+	arcFlow[a01] = 20
+	arcFlow[a13] = 20
+	paths, err := Decompose(g, arcFlow, 0, map[graph.NodeID]float64{3: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || paths[0].Sink != 3 || math.Abs(paths[0].Amount-20) > 1e-6 {
+		t.Fatalf("paths = %+v, want single 0->1->3 path of 20 units", paths)
+	}
+	for _, id := range paths[0].Path.Arcs {
+		if id == n04 {
+			t.Errorf("path uses noise arc %d", id)
 		}
 	}
 }

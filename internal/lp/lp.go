@@ -51,6 +51,10 @@ var (
 	// ErrIterationLimit reports that the pivot limit was exhausted,
 	// which indicates numerical trouble on the instance.
 	ErrIterationLimit = errors.New("lp: iteration limit exceeded")
+	// ErrBadConstraint reports a constraint with non-finite data or
+	// duplicate variable indices; admitting such a row would silently
+	// corrupt the basis, so it is rejected at construction time.
+	ErrBadConstraint = errors.New("lp: invalid constraint")
 )
 
 type constraint struct {
@@ -69,6 +73,11 @@ type Problem struct {
 	lower []float64
 	upper []float64
 	cons  []constraint
+
+	// seen/seenGen implement an O(k) duplicate-index check per added row:
+	// seen[j] == seenGen marks j as present in the row being validated.
+	seen    []int
+	seenGen int
 }
 
 // NewProblem returns a problem with n variables, default bounds [0, +Inf),
@@ -115,8 +124,12 @@ func (p *Problem) SetBounds(j int, lo, hi float64) {
 }
 
 // AddConstraint adds the sparse constraint sum_k val[k]*x[idx[k]] (op) rhs.
-// The idx/val slices are copied. Repeated indices are summed.
-func (p *Problem) AddConstraint(idx []int, val []float64, op Op, rhs float64) {
+// The idx/val slices are copied. Rows with NaN or infinite coefficients or
+// right-hand sides, and rows that mention the same variable twice, are
+// rejected with an error wrapping ErrBadConstraint: both would silently
+// corrupt the simplex basis. Use RowBuilder to accumulate coefficients when
+// several terms may land on the same variable.
+func (p *Problem) AddConstraint(idx []int, val []float64, op Op, rhs float64) error {
 	if len(idx) != len(val) {
 		//jcrlint:allow lib-panic: programmer-error guard; a mismatched sparse row is a caller bug
 		panic("lp: AddConstraint index/value length mismatch")
@@ -127,17 +140,47 @@ func (p *Problem) AddConstraint(idx []int, val []float64, op Op, rhs float64) {
 			panic(fmt.Sprintf("lp: constraint references variable %d of %d", j, p.nvars))
 		}
 	}
+	if err := p.validateRow(idx, val, rhs); err != nil {
+		return err
+	}
 	p.cons = append(p.cons, constraint{
 		idx: append([]int(nil), idx...),
 		val: append([]float64(nil), val...),
 		op:  op,
 		rhs: rhs,
 	})
+	return nil
+}
+
+// validateRow rejects non-finite data and duplicate indices in constraint
+// row len(cons) (the one about to be appended).
+func (p *Problem) validateRow(idx []int, val []float64, rhs float64) error {
+	row := len(p.cons)
+	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+		return fmt.Errorf("%w: constraint %d has non-finite right-hand side %v", ErrBadConstraint, row, rhs)
+	}
+	for k, v := range val {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: constraint %d has non-finite coefficient %v for x_%d", ErrBadConstraint, row, v, idx[k])
+		}
+	}
+	if p.seen == nil {
+		p.seen = make([]int, p.nvars)
+	}
+	p.seenGen++
+	for _, j := range idx {
+		if p.seen[j] == p.seenGen {
+			return fmt.Errorf("%w: constraint %d mentions x_%d more than once", ErrBadConstraint, row, j)
+		}
+		p.seen[j] = p.seenGen
+	}
+	return nil
 }
 
 // AddDenseConstraint adds the constraint row'x (op) rhs with a dense
-// coefficient row of length NumVars.
-func (p *Problem) AddDenseConstraint(row []float64, op Op, rhs float64) {
+// coefficient row of length NumVars. Non-finite coefficients or right-hand
+// sides are rejected with an error wrapping ErrBadConstraint.
+func (p *Problem) AddDenseConstraint(row []float64, op Op, rhs float64) error {
 	if len(row) != p.nvars {
 		//jcrlint:allow lib-panic: programmer-error guard; a wrong-length dense row is a caller bug
 		panic("lp: dense constraint row has wrong length")
@@ -150,7 +193,11 @@ func (p *Problem) AddDenseConstraint(row []float64, op Op, rhs float64) {
 			val = append(val, v)
 		}
 	}
+	if err := p.validateRow(idx, val, rhs); err != nil {
+		return err
+	}
 	p.cons = append(p.cons, constraint{idx: idx, val: val, op: op, rhs: rhs})
+	return nil
 }
 
 // Solution is the result of a successful solve.
@@ -191,7 +238,31 @@ func (p *Problem) Solve() (*Solution, error) {
 // ctx.Err() once the context is done, so a caller-imposed deadline actually
 // stops a numerically stuck instance instead of waiting out the pivot
 // limit. A nil ctx means no cancellation (identical to Solve).
+//
+// The working method is the sparse revised simplex (see revised.go). If its
+// basis factorization degenerates numerically — a condition that cannot be
+// ruled out under floating point even for well-posed inputs — the solve is
+// transparently retried with the dense tableau oracle, whose elimination
+// order is different and in practice unaffected.
 func (p *Problem) SolveContext(ctx context.Context) (*Solution, error) {
+	r := newRevised(p)
+	r.ctx = ctx
+	if err := r.solve(); err != nil {
+		if errors.Is(err, errNumeric) {
+			return p.SolveDense(ctx)
+		}
+		return nil, err
+	}
+	x := r.extract()
+	return &Solution{X: x, Objective: p.Value(x), Pivots: r.pivots}, nil
+}
+
+// SolveDense runs the original dense two-phase tableau simplex. It is kept
+// as the reference oracle for the randomized differential suite (the dense
+// elimination path shares no working-state code with the revised solver)
+// and as the numerical fallback of SolveContext. Semantics match
+// SolveContext: nil ctx means no cancellation.
+func (p *Problem) SolveDense(ctx context.Context) (*Solution, error) {
 	t, err := newTableau(p)
 	if err != nil {
 		return nil, err

@@ -181,18 +181,89 @@ func TestSparseConstraint(t *testing.T) {
 	}
 }
 
-func TestRepeatedIndicesSum(t *testing.T) {
-	// x appears twice with coefficient 1 each: 2x <= 4 -> x <= 2.
+func TestAddConstraintRejectsBadRows(t *testing.T) {
+	for name, add := range map[string]func(p *Problem) error{
+		"duplicate index": func(p *Problem) error {
+			return p.AddConstraint([]int{0, 0}, []float64{1, 1}, LE, 4)
+		},
+		"nan coefficient": func(p *Problem) error {
+			return p.AddConstraint([]int{0, 1}, []float64{1, math.NaN()}, LE, 4)
+		},
+		"inf coefficient": func(p *Problem) error {
+			return p.AddConstraint([]int{0}, []float64{math.Inf(1)}, GE, 0)
+		},
+		"nan rhs": func(p *Problem) error {
+			return p.AddConstraint([]int{0}, []float64{1}, EQ, math.NaN())
+		},
+		"inf rhs": func(p *Problem) error {
+			return p.AddConstraint([]int{0}, []float64{1}, LE, math.Inf(1))
+		},
+		"dense nan": func(p *Problem) error {
+			return p.AddDenseConstraint([]float64{math.NaN(), 0}, LE, 1)
+		},
+		"dense inf rhs": func(p *Problem) error {
+			return p.AddDenseConstraint([]float64{1, 0}, GE, math.Inf(-1))
+		},
+	} {
+		p := NewProblem(2)
+		if err := add(p); !errors.Is(err, ErrBadConstraint) {
+			t.Errorf("%s: err = %v, want ErrBadConstraint", name, err)
+		}
+		if got := p.NumConstraints(); got != 0 {
+			t.Errorf("%s: rejected row was still added (%d constraints)", name, got)
+		}
+	}
+}
+
+func TestRowBuilderCoalescesDuplicates(t *testing.T) {
+	// x added twice with coefficient 1 each coalesces to 2x <= 4 -> x <= 2.
 	p := NewProblem(1)
 	p.SetSense(Maximize)
 	p.SetObjectiveCoeff(0, 1)
-	p.AddConstraint([]int{0, 0}, []float64{1, 1}, LE, 4)
+	b := NewRowBuilder(p)
+	b.Add(0, 1)
+	b.Add(0, 1)
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", b.Len())
+	}
+	if err := b.Constrain(LE, 4); err != nil {
+		t.Fatal(err)
+	}
 	s, err := p.Solve()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !approxEq(s.X[0], 2, 1e-6) {
 		t.Errorf("X = %v, want [2]", s.X)
+	}
+}
+
+func TestRowBuilderResetsBetweenRows(t *testing.T) {
+	// Two disjoint rows through one builder: x <= 2 then y <= 3, and the
+	// builder must be clean after a rejected row too.
+	p := NewProblem(2)
+	p.SetSense(Maximize)
+	p.SetObjectiveCoeff(0, 1)
+	p.SetObjectiveCoeff(1, 1)
+	b := NewRowBuilder(p)
+	b.Add(0, 1)
+	if err := b.Constrain(LE, 2); err != nil {
+		t.Fatal(err)
+	}
+	b.Add(1, math.NaN())
+	if err := b.Constrain(LE, 3); !errors.Is(err, ErrBadConstraint) {
+		t.Fatalf("err = %v, want ErrBadConstraint", err)
+	}
+	b.Add(1, 1)
+	if err := b.Constrain(LE, 3); err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(s.Objective, 5, 1e-6) {
+		t.Errorf("objective = %v, want 5 (X=%v)", s.Objective, s.X)
 	}
 }
 

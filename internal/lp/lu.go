@@ -1,0 +1,303 @@
+package lp
+
+import (
+	"errors"
+	"math"
+)
+
+// errNumeric tags internal numerical failures of the sparse path (singular
+// or near-singular basis factorization). SolveContext catches it and retries
+// with the dense oracle; it never escapes the package.
+var errNumeric = errors.New("lp: sparse basis factorization failed")
+
+// luPivotTol is the absolute magnitude below which a factorization pivot is
+// treated as zero and the basis declared numerically singular.
+const luPivotTol = 1e-12
+
+// luFactor is a sparse LU factorization of a basis matrix B with partial
+// pivoting: P B = L U, stored column-wise. L is unit lower triangular (the
+// unit diagonal is implicit), U strictly upper triangular with its diagonal
+// split into udiag. Row indices of both factors are in pivot order; pinv
+// maps an original row index to its pivot position.
+type luFactor struct {
+	m     int
+	lcp   []int // L column pointers, len m+1
+	li    []int
+	lx    []float64
+	ucp   []int // U column pointers, len m+1
+	ui    []int
+	ux    []float64
+	udiag []float64
+	pinv  []int
+}
+
+// luFactorize computes a left-looking Gilbert-Peierls factorization of the
+// basis matrix whose k-th column is column basis[k] of f. Each column is
+// obtained by a sparse triangular solve against the L computed so far (the
+// nonzero pattern comes from a depth-first reach over L's graph), then the
+// largest remaining entry is chosen as pivot.
+func luFactorize(f *stdForm, basis []int) (*luFactor, error) {
+	m := f.m
+	lu := &luFactor{
+		m:     m,
+		lcp:   make([]int, 1, m+1),
+		ucp:   make([]int, 1, m+1),
+		udiag: make([]float64, m),
+		pinv:  make([]int, m),
+	}
+	for i := range lu.pinv {
+		lu.pinv[i] = -1
+	}
+	x := make([]float64, m)
+	marked := make([]bool, m)
+	topo := make([]int, m)   // reach pattern in topological order, topo[top:]
+	stack := make([]int, m)  // DFS node stack
+	pstack := make([]int, m) // DFS per-node resume positions
+	for k := 0; k < m; k++ {
+		col := basis[k]
+		// Symbolic step: pattern of the solution of L z = A_col.
+		top := m
+		for p := f.colPtr[col]; p < f.colPtr[col+1]; p++ {
+			if i := f.rowInd[p]; !marked[i] {
+				top = lu.reach(i, marked, stack, pstack, topo, top)
+			}
+		}
+		// Numeric step: scatter the column, then eliminate along the
+		// topological order (rows already pivoted have L columns).
+		for p := f.colPtr[col]; p < f.colPtr[col+1]; p++ {
+			x[f.rowInd[p]] = f.values[p]
+		}
+		for t := top; t < m; t++ {
+			i := topo[t]
+			pi := lu.pinv[i]
+			if pi < 0 {
+				continue
+			}
+			xi := x[i]
+			if xi == 0 {
+				continue
+			}
+			for p := lu.lcp[pi]; p < lu.lcp[pi+1]; p++ {
+				x[lu.li[p]] -= lu.lx[p] * xi
+			}
+		}
+		// Partial pivoting over the not-yet-pivoted rows.
+		pivRow, pivAbs := -1, 0.0
+		for t := top; t < m; t++ {
+			i := topo[t]
+			if lu.pinv[i] < 0 {
+				if a := math.Abs(x[i]); a > pivAbs {
+					pivAbs, pivRow = a, i
+				}
+			}
+		}
+		if pivRow < 0 || pivAbs <= luPivotTol {
+			for t := top; t < m; t++ {
+				x[topo[t]] = 0
+				marked[topo[t]] = false
+			}
+			return nil, errNumeric
+		}
+		d := x[pivRow]
+		lu.pinv[pivRow] = k
+		lu.udiag[k] = d
+		for t := top; t < m; t++ {
+			i := topo[t]
+			v := x[i]
+			x[i] = 0
+			marked[i] = false
+			if v == 0 || i == pivRow {
+				continue
+			}
+			if pi := lu.pinv[i]; pi >= 0 {
+				lu.ui = append(lu.ui, pi)
+				lu.ux = append(lu.ux, v)
+			} else {
+				lu.li = append(lu.li, i)
+				lu.lx = append(lu.lx, v/d)
+			}
+		}
+		lu.lcp = append(lu.lcp, len(lu.li))
+		lu.ucp = append(lu.ucp, len(lu.ui))
+	}
+	// Remap L's row indices from original rows to pivot positions; every
+	// row is pivoted by now, so the map is total.
+	for p := range lu.li {
+		lu.li[p] = lu.pinv[lu.li[p]]
+	}
+	return lu, nil
+}
+
+// reach runs an iterative depth-first search from start over the graph of
+// the partially built L (node i points to the rows of L's column pinv[i]),
+// pushing finished nodes onto topo[top-1], topo[top-2], ... so topo[top:]
+// ends up in topological order for the triangular solve.
+func (lu *luFactor) reach(start int, marked []bool, stack, pstack, topo []int, top int) int {
+	head := 0
+	stack[0] = start
+	for head >= 0 {
+		j := stack[head]
+		if !marked[j] {
+			marked[j] = true
+			if pj := lu.pinv[j]; pj >= 0 {
+				pstack[head] = lu.lcp[pj]
+			} else {
+				pstack[head] = 0
+			}
+		}
+		done := true
+		if pj := lu.pinv[j]; pj >= 0 {
+			for p := pstack[head]; p < lu.lcp[pj+1]; p++ {
+				if i := lu.li[p]; !marked[i] {
+					pstack[head] = p + 1
+					head++
+					stack[head] = i
+					done = false
+					break
+				}
+			}
+		}
+		if done {
+			head--
+			top--
+			topo[top] = j
+		}
+	}
+	return top
+}
+
+// ftran solves B v = b in place: on entry v holds b indexed by constraint
+// row, on exit it holds the solution indexed by basis position. tmp is a
+// caller-provided scratch vector of length m.
+func (lu *luFactor) ftran(v, tmp []float64) {
+	for i := 0; i < lu.m; i++ {
+		tmp[lu.pinv[i]] = v[i]
+	}
+	for j := 0; j < lu.m; j++ { // L solve (unit diagonal)
+		if xj := tmp[j]; xj != 0 {
+			for p := lu.lcp[j]; p < lu.lcp[j+1]; p++ {
+				tmp[lu.li[p]] -= lu.lx[p] * xj
+			}
+		}
+	}
+	for j := lu.m - 1; j >= 0; j-- { // U solve
+		xj := tmp[j] / lu.udiag[j]
+		tmp[j] = xj
+		if xj != 0 {
+			for p := lu.ucp[j]; p < lu.ucp[j+1]; p++ {
+				tmp[lu.ui[p]] -= lu.ux[p] * xj
+			}
+		}
+	}
+	copy(v, tmp)
+}
+
+// btran solves B' y = c in place: on entry v holds c indexed by basis
+// position, on exit it holds y indexed by constraint row. tmp is scratch of
+// length m.
+func (lu *luFactor) btran(v, tmp []float64) {
+	for j := 0; j < lu.m; j++ { // U' solve, forward (U's entries sit above j)
+		s := v[j]
+		for p := lu.ucp[j]; p < lu.ucp[j+1]; p++ {
+			s -= lu.ux[p] * tmp[lu.ui[p]]
+		}
+		tmp[j] = s / lu.udiag[j]
+	}
+	for j := lu.m - 1; j >= 0; j-- { // L' solve, backward (entries below j)
+		s := tmp[j]
+		for p := lu.lcp[j]; p < lu.lcp[j+1]; p++ {
+			s -= lu.lx[p] * tmp[lu.li[p]]
+		}
+		tmp[j] = s
+	}
+	for i := 0; i < lu.m; i++ {
+		v[i] = tmp[lu.pinv[i]]
+	}
+}
+
+// eta is one product-form basis update: replacing the variable at basis
+// position r with an entering column whose FTRAN direction was d turns the
+// basis B into B·E, where E is the identity with column r set to d. Only the
+// nonzero off-pivot entries of d are stored.
+type eta struct {
+	r   int
+	dr  float64
+	idx []int
+	val []float64
+}
+
+// basisLU is the working basis representation of the revised simplex: an LU
+// factorization plus a file of eta updates accumulated since the last
+// refactorization.
+type basisLU struct {
+	lu   *luFactor
+	etas []eta
+	tmp  []float64
+}
+
+// refactorEvery bounds the eta file length; past it the basis is refactored
+// from scratch, both to keep FTRAN/BTRAN cheap and to shed accumulated
+// floating-point drift.
+const refactorEvery = 64
+
+func newBasisLU(f *stdForm, basis []int) (*basisLU, error) {
+	lu, err := luFactorize(f, basis)
+	if err != nil {
+		return nil, err
+	}
+	return &basisLU{lu: lu, tmp: make([]float64, f.m)}, nil
+}
+
+// refactor rebuilds the LU from the current basis and drops the eta file.
+func (b *basisLU) refactor(f *stdForm, basis []int) error {
+	lu, err := luFactorize(f, basis)
+	if err != nil {
+		return err
+	}
+	b.lu = lu
+	b.etas = b.etas[:0]
+	return nil
+}
+
+// update appends the eta for an exchange at basis position r with FTRAN
+// direction d. The ratio test guarantees |d[r]| is comfortably nonzero.
+func (b *basisLU) update(r int, d []float64) {
+	e := eta{r: r, dr: d[r]}
+	for i, v := range d {
+		if i != r && v != 0 {
+			e.idx = append(e.idx, i)
+			e.val = append(e.val, v)
+		}
+	}
+	b.etas = append(b.etas, e)
+}
+
+// full reports whether the eta file has reached the refactorization bound.
+func (b *basisLU) full() bool { return len(b.etas) >= refactorEvery }
+
+// ftran solves B v = b for the current basis (LU plus eta updates, applied
+// oldest first).
+func (b *basisLU) ftran(v []float64) {
+	b.lu.ftran(v, b.tmp)
+	for _, e := range b.etas {
+		xr := v[e.r] / e.dr
+		for k, i := range e.idx {
+			v[i] -= e.val[k] * xr
+		}
+		v[e.r] = xr
+	}
+}
+
+// btran solves B' y = c for the current basis (eta transposes newest first,
+// then the LU).
+func (b *basisLU) btran(v []float64) {
+	for t := len(b.etas) - 1; t >= 0; t-- {
+		e := b.etas[t]
+		s := v[e.r]
+		for k, i := range e.idx {
+			s -= e.val[k] * v[i]
+		}
+		v[e.r] = s / e.dr
+	}
+	b.lu.btran(v, b.tmp)
+}

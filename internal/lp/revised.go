@@ -1,0 +1,299 @@
+package lp
+
+import (
+	"context"
+	"fmt"
+	"math"
+)
+
+// revised is the sparse revised-simplex working state. It solves the same
+// standardized bounded-variable problem as the dense tableau (see stdForm)
+// but keeps the basis as an LU/eta factorization instead of an explicit
+// B^-1 A matrix: pricing is done with one BTRAN plus sparse column dot
+// products per iteration, and the pivot direction with one FTRAN. The
+// entering rule (Dantzig with Bland fallback after degenRun degenerate
+// pivots), ratio test, tie-breaking, tolerances, pivot limit, and context
+// polling all mirror tableau.go so the two solvers agree on verdicts.
+type revised struct {
+	p *Problem
+	f *stdForm
+	b *basisLU
+
+	beta   []float64 // values of basic variables, len m
+	basis  []int     // basis[i] = column basic at position/row i
+	inRow  []int     // inRow[j] = basis position of column j, or -1
+	atUp   []bool    // nonbasic-at-upper-bound flags
+	frozen []bool    // columns barred from entering
+	c      []float64 // current phase cost vector, len n
+	y      []float64 // dual workspace (BTRAN result), len m
+	d      []float64 // pivot direction workspace (FTRAN result), len m
+
+	pivots     int
+	degenerate int
+	ctx        context.Context
+}
+
+func newRevised(p *Problem) *revised {
+	f := newStdForm(p)
+	r := &revised{
+		p:      p,
+		f:      f,
+		beta:   append([]float64(nil), f.rhs...),
+		basis:  append([]int(nil), f.basis0...),
+		inRow:  make([]int, f.n),
+		atUp:   make([]bool, f.n),
+		frozen: make([]bool, f.n),
+		c:      make([]float64, f.n),
+		y:      make([]float64, f.m),
+		d:      make([]float64, f.m),
+	}
+	for j := range r.inRow {
+		r.inRow[j] = -1
+	}
+	for i, j := range r.basis {
+		r.inRow[j] = i
+	}
+	return r
+}
+
+func (r *revised) solve() error {
+	// The initial basis is slack/artificial columns, i.e. the identity, so
+	// this factorization cannot fail.
+	b, err := newBasisLU(r.f, r.basis)
+	if err != nil {
+		return err
+	}
+	r.b = b
+	// Phase 1: minimize the sum of artificial variables.
+	if r.f.artFrom < r.f.n {
+		for j := r.f.artFrom; j < r.f.n; j++ {
+			r.c[j] = 1
+		}
+		if err := r.iterate(); err != nil {
+			return err
+		}
+		var obj1 float64
+		for i, j := range r.basis {
+			if j >= r.f.artFrom {
+				obj1 += r.beta[i]
+			}
+		}
+		if obj1 > feasTol {
+			return ErrInfeasible
+		}
+		// Bar artificials from ever re-entering and pin them to 0.
+		for j := r.f.artFrom; j < r.f.n; j++ {
+			r.frozen[j] = true
+			r.f.ub[j] = 0
+		}
+		// Refactoring at the phase boundary sheds the phase-1 eta file and
+		// recomputes beta from scratch before the real objective runs.
+		if err := r.refactor(); err != nil {
+			return err
+		}
+	}
+	// Phase 2: the real objective (negated for maximization).
+	for j := range r.c {
+		r.c[j] = 0
+	}
+	sign := 1.0
+	if r.p.sense == Maximize {
+		sign = -1.0
+	}
+	for j := 0; j < r.f.nStruct; j++ {
+		r.c[j] = sign * r.p.obj[j]
+	}
+	r.degenerate = 0
+	return r.iterate()
+}
+
+// iterate runs revised-simplex pivots until optimality for the current cost
+// vector, mirroring tableau.iterate.
+func (r *revised) iterate() error {
+	maxPivots := 200*(r.f.m+r.f.n) + 20000
+	for r.pivots < maxPivots {
+		if r.ctx != nil && r.pivots%ctxCheckPivots == 0 {
+			if err := r.ctx.Err(); err != nil {
+				return fmt.Errorf("lp: canceled after %d pivots: %w", r.pivots, err)
+			}
+		}
+		bland := r.degenerate >= degenRun
+		e := r.chooseEntering(bland)
+		if e < 0 {
+			return nil // optimal
+		}
+		if err := r.pivot(e, bland); err != nil {
+			return err
+		}
+	}
+	return ErrIterationLimit
+}
+
+// chooseEntering prices every nonbasic column against the duals
+// y = B^-T c_B and returns an improving column, or -1 at optimality. Under
+// Bland's rule the lowest-index eligible column wins; otherwise Dantzig.
+func (r *revised) chooseEntering(bland bool) int {
+	for i := 0; i < r.f.m; i++ {
+		r.y[i] = r.c[r.basis[i]]
+	}
+	r.b.btran(r.y)
+	best := -1
+	bestScore := costTol
+	for j := 0; j < r.f.n; j++ {
+		if r.inRow[j] >= 0 || r.frozen[j] || r.f.ub[j] == 0 {
+			continue
+		}
+		z := r.c[j] - r.f.dotCol(j, r.y)
+		var score float64
+		if !r.atUp[j] {
+			score = -z // increasing x_j improves if z_j < 0
+		} else {
+			score = z // decreasing x_j improves if z_j > 0
+		}
+		if score > bestScore {
+			if bland {
+				return j
+			}
+			best = j
+			bestScore = score
+		}
+	}
+	return best
+}
+
+// pivot moves the entering column e as far as the ratio test allows,
+// flipping its bound or exchanging it with a leaving basic variable. The
+// direction d = B^-1 A_e plays the role the dense tableau column played.
+func (r *revised) pivot(e int, bland bool) error {
+	for i := range r.d {
+		r.d[i] = 0
+	}
+	r.f.scatterCol(e, r.d)
+	r.b.ftran(r.d)
+	// sigma = +1 when the entering variable increases from its lower
+	// bound, -1 when it decreases from its upper bound.
+	sigma := 1.0
+	if r.atUp[e] {
+		sigma = -1.0
+	}
+	tMax := r.f.ub[e] // bound-flip limit (possibly +Inf)
+	leave := -1
+	leaveAtUpper := false
+	for i := 0; i < r.f.m; i++ {
+		delta := -sigma * r.d[i] // change of basic value per unit step
+		var lim float64
+		var hitsUpper bool
+		switch {
+		case delta < -pivotTol:
+			lim = r.beta[i] / -delta
+		case delta > pivotTol:
+			u := r.f.ub[r.basis[i]]
+			if math.IsInf(u, 1) {
+				continue
+			}
+			lim = (u - r.beta[i]) / delta
+			hitsUpper = true
+		default:
+			continue
+		}
+		if lim < 0 {
+			lim = 0 // clamp tiny negative values from roundoff
+		}
+		switch {
+		case lim < tMax-ratioTol:
+			tMax, leave, leaveAtUpper = lim, i, hitsUpper
+		case lim <= tMax+ratioTol && leave >= 0 && r.tieBreak(bland, i, leave):
+			leave, leaveAtUpper = i, hitsUpper
+			if lim < tMax {
+				tMax = lim
+			}
+		}
+	}
+	if math.IsInf(tMax, 1) {
+		return ErrUnbounded
+	}
+	if tMax < 0 {
+		tMax = 0
+	}
+	r.pivots++
+	if tMax <= pivotTol {
+		r.degenerate++
+	} else {
+		r.degenerate = 0
+	}
+	if tMax > 0 {
+		for i := 0; i < r.f.m; i++ {
+			r.beta[i] += -sigma * r.d[i] * tMax
+		}
+	}
+	if leave < 0 {
+		// Pure bound flip of the entering variable.
+		r.atUp[e] = !r.atUp[e]
+		return nil
+	}
+	enterVal := tMax
+	if r.atUp[e] {
+		enterVal = r.f.ub[e] - tMax
+	}
+	lv := r.basis[leave]
+	r.inRow[lv] = -1
+	r.atUp[lv] = leaveAtUpper
+	r.basis[leave] = e
+	r.inRow[e] = leave
+	r.atUp[e] = false
+	r.beta[leave] = enterVal
+	// Fold the exchange into the basis representation; refactor once the
+	// eta file fills up.
+	r.b.update(leave, r.d)
+	if r.b.full() {
+		return r.refactor()
+	}
+	return nil
+}
+
+// tieBreak decides whether candidate row i should replace the current
+// leaving row cur under a tied ratio test: Bland's rule picks the smaller
+// basis index; otherwise the larger pivot magnitude wins for stability.
+func (r *revised) tieBreak(bland bool, i, cur int) bool {
+	if bland {
+		return r.basis[i] < r.basis[cur]
+	}
+	return math.Abs(r.d[i]) > math.Abs(r.d[cur])
+}
+
+// refactor rebuilds the LU from the current basis and recomputes beta from
+// the right-hand side, beta = B^-1 (b - sum over nonbasic-at-upper columns
+// of A_j u_j), shedding drift the incremental updates accumulated.
+func (r *revised) refactor() error {
+	if err := r.b.refactor(r.f, r.basis); err != nil {
+		return err
+	}
+	for i := 0; i < r.f.m; i++ {
+		r.beta[i] = r.f.rhs[i]
+	}
+	for j := 0; j < r.f.n; j++ {
+		if r.atUp[j] && r.inRow[j] < 0 && r.f.ub[j] > 0 {
+			for p := r.f.colPtr[j]; p < r.f.colPtr[j+1]; p++ {
+				r.beta[r.f.rowInd[p]] -= r.f.values[p] * r.f.ub[j]
+			}
+		}
+	}
+	r.b.ftran(r.beta)
+	return nil
+}
+
+// extract recovers the structural solution in original (unshifted)
+// coordinates, mirroring tableau.extract.
+func (r *revised) extract() []float64 {
+	x := make([]float64, r.f.nStruct)
+	for j := 0; j < r.f.nStruct; j++ {
+		var v float64
+		if i := r.inRow[j]; i >= 0 {
+			v = r.beta[i]
+		} else if r.atUp[j] {
+			v = r.f.ub[j]
+		}
+		x[j] = v + r.p.lower[j]
+	}
+	return x
+}

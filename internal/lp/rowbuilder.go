@@ -1,0 +1,55 @@
+package lp
+
+import "fmt"
+
+// RowBuilder accumulates one sparse constraint row at a time. Callers Add
+// coefficients in any order — terms landing on the same variable are summed,
+// which is what incidence-structured models (per-path savings, per-node flow
+// conservation with self-loops) need now that Problem.AddConstraint rejects
+// duplicate indices. Constrain flushes the row into the problem and resets
+// the builder, so one builder serves an entire model build with O(1)
+// amortized work per nonzero and no per-row allocation.
+type RowBuilder struct {
+	p   *Problem
+	pos []int // pos[j] = 1 + slot of j in idx, or 0 when absent
+	idx []int
+	val []float64
+}
+
+// NewRowBuilder returns a builder for rows of p. The builder keeps a slot
+// map of length p.NumVars, so reuse one builder per problem rather than
+// creating one per row.
+func NewRowBuilder(p *Problem) *RowBuilder {
+	return &RowBuilder{p: p, pos: make([]int, p.NumVars())}
+}
+
+// Add accumulates v onto the coefficient of variable j in the pending row.
+func (b *RowBuilder) Add(j int, v float64) {
+	if j < 0 || j >= len(b.pos) {
+		//jcrlint:allow lib-panic: programmer-error guard; variable indices come from the caller's own numbering
+		panic(fmt.Sprintf("lp: row builder references variable %d of %d", j, len(b.pos)))
+	}
+	if s := b.pos[j]; s != 0 {
+		b.val[s-1] += v
+		return
+	}
+	b.idx = append(b.idx, j)
+	b.val = append(b.val, v)
+	b.pos[j] = len(b.idx)
+}
+
+// Len reports the number of distinct variables in the pending row.
+func (b *RowBuilder) Len() int { return len(b.idx) }
+
+// Constrain appends the pending row as the constraint (row) op rhs and
+// resets the builder for the next row. The builder state is reset even on
+// error, so a failed row does not poison subsequent ones.
+func (b *RowBuilder) Constrain(op Op, rhs float64) error {
+	err := b.p.AddConstraint(b.idx, b.val, op, rhs)
+	for _, j := range b.idx {
+		b.pos[j] = 0
+	}
+	b.idx = b.idx[:0]
+	b.val = b.val[:0]
+	return err
+}

@@ -1,0 +1,175 @@
+package lp
+
+import "math"
+
+// stdForm is the standardized problem both solvers conceptually share and
+// the sparse revised simplex actually works on: every column is shifted to
+// [0, ub_j] (structural lower bounds absorbed into the right-hand side),
+// every row is sign-normalized to a nonnegative right-hand side, and slack,
+// surplus, and artificial columns are appended after the structural ones.
+// The constraint matrix is stored in compressed sparse column (CSC) form so
+// that pricing and FTRAN touch only nonzeros.
+type stdForm struct {
+	m, n    int // rows, total columns
+	nStruct int // structural columns (Problem.nvars)
+	artFrom int // first artificial column index
+
+	// CSC storage of the full m x n matrix (structural + slack/surplus +
+	// artificial columns).
+	colPtr []int
+	rowInd []int
+	values []float64
+
+	ub     []float64 // shifted upper bounds, len n (artificials +Inf)
+	rhs    []float64 // normalized right-hand sides, len m (all >= 0)
+	basis0 []int     // initial basic column per row (slack or artificial)
+}
+
+// colNNZ returns the nonzero count of column j.
+func (f *stdForm) colNNZ(j int) int { return f.colPtr[j+1] - f.colPtr[j] }
+
+// newStdForm builds the standardized sparse form of p. It mirrors the
+// normalization of the dense tableau constructor (newTableau) exactly, so
+// the two solvers see the same mathematical problem.
+func newStdForm(p *Problem) *stdForm {
+	m := len(p.cons)
+	type rowInfo struct {
+		op  Op
+		rhs float64
+		neg bool
+	}
+	rows := make([]rowInfo, m)
+	for i, c := range p.cons {
+		rhs := c.rhs
+		// Shift by structural lower bounds: b' = b - A l.
+		for k, j := range c.idx {
+			rhs -= c.val[k] * p.lower[j]
+		}
+		op := c.op
+		neg := false
+		if rhs < 0 {
+			rhs = -rhs
+			neg = true
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		rows[i] = rowInfo{op: op, rhs: rhs, neg: neg}
+	}
+	nSlack, nArt, nnz := 0, 0, 0
+	for _, r := range rows {
+		if r.op != EQ {
+			nSlack++
+		}
+		if r.op != LE {
+			nArt++
+		}
+	}
+	nStruct := p.nvars
+	n := nStruct + nSlack + nArt
+	f := &stdForm{
+		m:       m,
+		n:       n,
+		nStruct: nStruct,
+		artFrom: nStruct + nSlack,
+		ub:      make([]float64, n),
+		rhs:     make([]float64, m),
+		basis0:  make([]int, m),
+	}
+	for j := 0; j < nStruct; j++ {
+		f.ub[j] = p.upper[j] - p.lower[j]
+	}
+	for j := nStruct; j < n; j++ {
+		f.ub[j] = math.Inf(1)
+	}
+
+	// Count structural-column nonzeros (AddConstraint rejects duplicate
+	// indices, so each (row, col) pair appears at most once).
+	counts := make([]int, n+1)
+	for _, c := range p.cons {
+		for k, j := range c.idx {
+			if c.val[k] != 0 {
+				counts[j]++
+				nnz++
+			}
+		}
+	}
+	nnz += nSlack + nArt // one entry per slack/surplus/artificial column
+	f.colPtr = make([]int, n+1)
+	for j := 0; j < nStruct; j++ {
+		f.colPtr[j+1] = f.colPtr[j] + counts[j]
+	}
+	// Extra columns are assigned below in row order, one nonzero each.
+	f.rowInd = make([]int, nnz)
+	f.values = make([]float64, nnz)
+	next := make([]int, nStruct)
+	for j := range next {
+		next[j] = f.colPtr[j]
+	}
+	slack := nStruct
+	art := f.artFrom
+	// First pass fixes the extra-column pointers so the per-row fill below
+	// can write them directly.
+	extraPtr := f.colPtr[nStruct]
+	for j := nStruct; j < n; j++ {
+		f.colPtr[j] = extraPtr
+		extraPtr++
+		f.colPtr[j+1] = extraPtr
+	}
+	for i, c := range p.cons {
+		r := rows[i]
+		sign := 1.0
+		if r.neg {
+			sign = -1.0
+		}
+		for k, j := range c.idx {
+			if c.val[k] == 0 {
+				continue
+			}
+			f.rowInd[next[j]] = i
+			f.values[next[j]] = sign * c.val[k]
+			next[j]++
+		}
+		f.rhs[i] = r.rhs
+		put := func(col int, v float64) {
+			f.rowInd[f.colPtr[col]] = i
+			f.values[f.colPtr[col]] = v
+		}
+		switch r.op {
+		case LE:
+			put(slack, 1)
+			f.basis0[i] = slack
+			slack++
+		case GE:
+			put(slack, -1)
+			slack++
+			put(art, 1)
+			f.basis0[i] = art
+			art++
+		case EQ:
+			put(art, 1)
+			f.basis0[i] = art
+			art++
+		}
+	}
+	return f
+}
+
+// scatterCol adds column j of the matrix into the dense vector x.
+func (f *stdForm) scatterCol(j int, x []float64) {
+	for p := f.colPtr[j]; p < f.colPtr[j+1]; p++ {
+		x[f.rowInd[p]] += f.values[p]
+	}
+}
+
+// dotCol returns the inner product of column j with the dense vector y.
+func (f *stdForm) dotCol(j int, y []float64) float64 {
+	var s float64
+	for p := f.colPtr[j]; p < f.colPtr[j+1]; p++ {
+		s += f.values[p] * y[f.rowInd[p]]
+	}
+	return s
+}

@@ -1,0 +1,142 @@
+// Package par is the repository's single bounded worker pool. Every
+// fan-out in the library — per-commodity min-cost flows in MMSFP,
+// per-path saving enumeration in the Eq. (15) placement LP, Monte-Carlo
+// runs in the experiment harness — goes through Do or Map rather than bare
+// go statements (enforced by the jcrlint go-stmt analyzer).
+//
+// The contract that keeps parallel results bit-for-bit identical to
+// sequential ones is deterministic merging: work is indexed 0..n-1, each
+// index is processed exactly once by some worker with state derived only
+// from the index (for example an RNG stream keyed by (seed, index) via
+// jcr/internal/rng.Derive), and results land in slot i of a pre-sized
+// slice. Whatever order workers finish in, the merged output is a pure
+// function of the inputs.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count setting: values <= 0 (the "default"
+// zero value everywhere in the library) mean GOMAXPROCS, and the count is
+// never larger than n, the number of work items.
+func Workers(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Do runs fn(i) for every i in [0, n) on at most `workers` goroutines
+// (normalized by Workers) and returns the error of the lowest failing
+// index, matching what a sequential loop that stops at the first error
+// would surface. Once any fn fails or ctx is canceled, workers stop
+// claiming new indices; in-flight calls finish. With one effective worker
+// the loop runs inline on the caller's goroutine — no goroutines, no
+// channels — so a sequential configuration behaves exactly like the
+// pre-pool code. A panic in fn is re-raised on the caller's goroutine.
+func Do(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		panicMu sync.Mutex
+		panicV  any
+		wg      sync.WaitGroup
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		//jcrlint:allow go-stmt: this package IS the worker pool
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicV == nil {
+						panicV = r
+					}
+					panicMu.Unlock()
+					failed.Store(true)
+				}
+			}()
+			for {
+				if failed.Load() {
+					return
+				}
+				if ctx != nil && ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if panicV != nil {
+		//jcrlint:allow lib-panic: re-raises a worker panic on the caller's goroutine
+		panic(panicV)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs fn over [0, n) with Do's scheduling and returns the results
+// merged in index order. out[i] is fn(i)'s value regardless of worker
+// count or completion order; on error the slice is nil.
+func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := Do(ctx, workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

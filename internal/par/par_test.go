@@ -1,0 +1,114 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	if w := Workers(0, 100); w < 1 {
+		t.Errorf("Workers(0, 100) = %d, want >= 1", w)
+	}
+	if w := Workers(8, 3); w != 3 {
+		t.Errorf("Workers(8, 3) = %d, want 3 (capped at n)", w)
+	}
+	if w := Workers(-1, 0); w != 1 {
+		t.Errorf("Workers(-1, 0) = %d, want 1", w)
+	}
+	if w := Workers(4, 100); w != 4 {
+		t.Errorf("Workers(4, 100) = %d, want 4", w)
+	}
+}
+
+func TestDoCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7} {
+		n := 100
+		counts := make([]atomic.Int32, n)
+		if err := Do(context.Background(), workers, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestMapMergesInIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		out, err := Map(context.Background(), workers, 50, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestDoReturnsLowestIndexError(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := Do(context.Background(), workers, 20, func(i int) error {
+			if i == 3 || i == 17 {
+				return fmt.Errorf("index %d: %w", i, sentinel)
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v, want wrapped sentinel", workers, err)
+		}
+		// With one worker the loop stops at index 3; with several, the
+		// lowest recorded failing index is reported.
+		if want := "index 3"; workers == 1 && err.Error() != want+": boom" {
+			t.Fatalf("workers=1: err = %q, want %q", err, want+": boom")
+		}
+	}
+}
+
+func TestDoNilContext(t *testing.T) {
+	var ran atomic.Int32
+	if err := Do(nil, 2, 10, func(i int) error {
+		ran.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 10 {
+		t.Fatalf("ran = %d, want 10", ran.Load())
+	}
+}
+
+func TestDoCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Do(ctx, 4, 1000, func(i int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestDoPropagatesPanic(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("expected a re-raised worker panic")
+		}
+	}()
+	_ = Do(context.Background(), 4, 10, func(i int) error {
+		if i == 5 {
+			panic("worker exploded")
+		}
+		return nil
+	})
+}

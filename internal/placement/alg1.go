@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"jcr/internal/core/lputil"
 	"jcr/internal/graph"
 	"jcr/internal/lp"
 )
@@ -71,57 +72,46 @@ func Alg1WithOptions(s *Spec, dist [][]float64, opts Alg1Options) (*Alg1Result, 
 	prob := lp.NewProblem(nx + len(reqs))
 	prob.SetSense(lp.Maximize)
 	xIdx := func(vi, i int) int { return vi*s.NumItems + i }
+	row := lp.NewRowBuilder(prob)
 	for k, rq := range reqs {
 		y := nx + k
 		prob.SetObjectiveCoeff(y, s.Rates[rq.Item][rq.Node]*wmax)
 		prob.SetBounds(y, 0, 1)
 		// y <= sum_v a_vis x_vi + pinned contribution.
-		idx := []int{y}
-		val := []float64{1}
+		row.Add(y, 1)
 		var pinnedBase float64
 		for vi, v := range nodes {
 			if a := gain(dist, v, rq.Node, wmax); a > 0 {
-				idx = append(idx, xIdx(vi, rq.Item))
-				val = append(val, -a)
+				row.Add(xIdx(vi, rq.Item), -a)
 			}
 		}
 		for _, v := range s.Pinned {
 			pinnedBase += gain(dist, v, rq.Node, wmax)
 		}
-		prob.AddConstraint(idx, val, lp.LE, pinnedBase)
+		if err := row.Constrain(lp.LE, pinnedBase); err != nil {
+			return nil, fmt.Errorf("placement: auxiliary LP: %w", err)
+		}
 	}
 	for j := 0; j < nx; j++ {
 		prob.SetBounds(j, 0, 1)
 	}
 	for vi, v := range nodes {
-		idx := make([]int, s.NumItems)
-		val := make([]float64, s.NumItems)
 		for i := 0; i < s.NumItems; i++ {
-			idx[i], val[i] = xIdx(vi, i), 1
+			row.Add(xIdx(vi, i), 1)
 		}
-		prob.AddConstraint(idx, val, lp.LE, s.CacheCap[v])
+		if err := row.Constrain(lp.LE, s.CacheCap[v]); err != nil {
+			return nil, fmt.Errorf("placement: auxiliary LP: %w", err)
+		}
 	}
-	sol, err := prob.Solve()
+	sol, err := lputil.Solve(nil, "placement: auxiliary LP", prob)
 	if err != nil {
-		return nil, fmt.Errorf("placement: auxiliary LP: %w", err)
+		return nil, err
 	}
 
 	// Recover an optimal fractional source selection r~ for the pipage
 	// weights: fill each request greedily across nodes in descending
 	// gain, each node v taking at most x_vi * a_vis.
-	xFrac := make([][]float64, len(nodes))
-	for vi := range nodes {
-		xFrac[vi] = make([]float64, s.NumItems)
-		for i := 0; i < s.NumItems; i++ {
-			xv := sol.X[xIdx(vi, i)]
-			if xv < 0 {
-				xv = 0
-			} else if xv > 1 {
-				xv = 1
-			}
-			xFrac[vi][i] = xv
-		}
-	}
+	xFrac := lputil.ExtractGrid(sol.X, 0, len(nodes), s.NumItems, lputil.Clamp01)
 	// weights[vi][i] accumulates sum_s lambda * r~ * (wmax - w_{v->s}),
 	// the pipage comparison quantity of Eqs. (8)-(9).
 	weights := make([][]float64, len(nodes))

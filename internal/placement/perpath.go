@@ -6,8 +6,10 @@ import (
 	"math"
 	"sort"
 
+	"jcr/internal/core/lputil"
 	"jcr/internal/graph"
 	"jcr/internal/lp"
+	"jcr/internal/par"
 )
 
 // ServingPath is one response path serving a request at a given rate, the
@@ -91,6 +93,17 @@ func pathCostUnder(s *Spec, sp *ServingPath, pl *Placement) (full, remaining flo
 	return full, remaining
 }
 
+// PerPathOptions tune the Section 4.3.1 placement subproblem.
+type PerPathOptions struct {
+	// Method selects the LP + pipage algorithm, the greedy, or Auto.
+	Method PerPathMethod
+	// Workers bounds the worker pool used for the per-(path, link) saving
+	// enumeration feeding the Eq. (15) LP. Zero or negative means
+	// GOMAXPROCS. The result is independent of the worker count: savings
+	// are merged in path order (see internal/par).
+	Workers int
+}
+
 // PlacePerPath solves the content-placement subproblem of Section 4.3.1:
 // given fixed source selection and routing (the serving paths), choose an
 // integral placement maximizing the cost saving (14) subject to cache
@@ -106,6 +119,12 @@ func PlacePerPath(s *Spec, paths []ServingPath, method PerPathMethod) (*Placemen
 // caller-imposed deadline stops the subproblem mid-run. A nil ctx means no
 // cancellation (identical to PlacePerPath).
 func PlacePerPathContext(ctx context.Context, s *Spec, paths []ServingPath, method PerPathMethod) (*Placement, error) {
+	return PlacePerPathOpts(ctx, s, paths, PerPathOptions{Method: method})
+}
+
+// PlacePerPathOpts is PlacePerPathContext with explicit tuning knobs.
+func PlacePerPathOpts(ctx context.Context, s *Spec, paths []ServingPath, opts PerPathOptions) (*Placement, error) {
+	method := opts.Method
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -134,7 +153,7 @@ func PlacePerPathContext(ctx context.Context, s *Spec, paths []ServingPath, meth
 		useLP = false // pipage cannot swap heterogeneous sizes (Section 5.2.2)
 	}
 	if useLP {
-		return placePerPathLP(ctx, s, paths)
+		return placePerPathLP(ctx, s, paths, opts.Workers)
 	}
 	return placePerPathGreedy(ctx, s, paths)
 }
@@ -226,8 +245,65 @@ func placePerPathGreedy(ctx context.Context, s *Spec, paths []ServingPath) (*Pla
 	return pl, nil
 }
 
+// zref is one auxiliary saving variable of the Eq. (15) LP: a (path, link)
+// pair with its rate-weighted link cost and the x variables of the
+// cacheable nodes downstream of the link.
+type zref struct {
+	weight float64 // rate * link cost
+	idx    []int   // x variables of downstream nodes
+}
+
+// enumerateSavings builds the z variables of the Eq. (15) LP, one path per
+// work item on the bounded pool: each path's (link, downstream-set) walk is
+// independent, and the per-path lists are flattened in path order so the
+// variable numbering is identical to the sequential enumeration no matter
+// the worker count.
+func enumerateSavings(ctx context.Context, s *Spec, paths []ServingPath, nodeIdx []int, xIdx func(vi, i int) int, workers int) ([]zref, error) {
+	g := s.G
+	perPath, err := par.Map(ctx, workers, len(paths), func(k int) ([]zref, error) {
+		sp := &paths[k]
+		if sp.Rate <= 0 {
+			return nil, nil
+		}
+		pnodes := sp.Path.Nodes(g)
+		item := sp.Req.Item
+		// Walk links from the requester side: link j has downstream
+		// nodes pnodes[j+1..end].
+		var out []zref
+		var downstream []int
+		pinnedDown := false
+		for j := len(sp.Path.Arcs) - 1; j >= 0; j-- {
+			v := pnodes[j+1]
+			if s.IsPinned(v) {
+				pinnedDown = true
+			} else if vi := nodeIdx[v]; vi >= 0 {
+				downstream = append(downstream, xIdx(vi, item))
+			}
+			w := g.Arc(sp.Path.Arcs[j]).Cost
+			if pinnedDown || w <= 0 {
+				// Saving is constant 1 (pinned downstream) or
+				// worthless; no variable needed.
+				continue
+			}
+			out = append(out, zref{
+				weight: sp.Rate * w,
+				idx:    append([]int(nil), downstream...),
+			})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var zs []zref
+	for _, list := range perPath {
+		zs = append(zs, list...)
+	}
+	return zs, nil
+}
+
 // placePerPathLP solves the LP form of (15) and pipage-rounds the result.
-func placePerPathLP(ctx context.Context, s *Spec, paths []ServingPath) (*Placement, error) {
+func placePerPathLP(ctx context.Context, s *Spec, paths []ServingPath, workers int) (*Placement, error) {
 	g := s.G
 	var nodes []graph.NodeID
 	nodeIdx := make([]int, g.NumNodes())
@@ -245,88 +321,46 @@ func placePerPathLP(ctx context.Context, s *Spec, paths []ServingPath) (*Placeme
 
 	// One z variable per (path, link) whose saving is not already
 	// guaranteed by a pinned node downstream of the link.
-	type zref struct {
-		weight float64 // rate * link cost
-		idx    []int   // x variables of downstream nodes
-	}
-	var zs []zref
-	for k := range paths {
-		sp := &paths[k]
-		if sp.Rate <= 0 {
-			continue
-		}
-		pnodes := sp.Path.Nodes(g)
-		item := sp.Req.Item
-		// Walk links from the requester side: link j has downstream
-		// nodes pnodes[j+1..end].
-		var downstream []int
-		pinnedDown := false
-		for j := len(sp.Path.Arcs) - 1; j >= 0; j-- {
-			v := pnodes[j+1]
-			if s.IsPinned(v) {
-				pinnedDown = true
-			} else if vi := nodeIdx[v]; vi >= 0 {
-				downstream = append(downstream, xIdx(vi, item))
-			}
-			w := g.Arc(sp.Path.Arcs[j]).Cost
-			if pinnedDown || w <= 0 {
-				// Saving is constant 1 (pinned downstream) or
-				// worthless; no variable needed.
-				continue
-			}
-			zs = append(zs, zref{
-				weight: sp.Rate * w,
-				idx:    append([]int(nil), downstream...),
-			})
-		}
+	zs, err := enumerateSavings(ctx, s, paths, nodeIdx, xIdx, workers)
+	if err != nil {
+		return nil, fmt.Errorf("placement: per-path enumeration: %w", err)
 	}
 	prob := lp.NewProblem(nx + len(zs))
 	prob.SetSense(lp.Maximize)
 	for j := 0; j < nx; j++ {
 		prob.SetBounds(j, 0, 1)
 	}
+	row := lp.NewRowBuilder(prob)
 	for zi, z := range zs {
 		zv := nx + zi
 		prob.SetObjectiveCoeff(zv, z.weight)
 		prob.SetBounds(zv, 0, 1)
-		idx := append([]int{zv}, z.idx...)
-		val := make([]float64, len(idx))
-		val[0] = 1
-		for k := 1; k < len(val); k++ {
-			val[k] = -1
+		row.Add(zv, 1)
+		for _, j := range z.idx {
+			row.Add(j, -1)
 		}
-		prob.AddConstraint(idx, val, lp.LE, 0)
+		if err := row.Constrain(lp.LE, 0); err != nil {
+			return nil, fmt.Errorf("placement: per-path LP: %w", err)
+		}
 	}
 	for vi, v := range nodes {
-		idx := make([]int, s.NumItems)
-		val := make([]float64, s.NumItems)
 		for i := 0; i < s.NumItems; i++ {
-			idx[i], val[i] = xIdx(vi, i), 1
+			row.Add(xIdx(vi, i), 1)
 		}
-		prob.AddConstraint(idx, val, lp.LE, s.CacheCap[v])
+		if err := row.Constrain(lp.LE, s.CacheCap[v]); err != nil {
+			return nil, fmt.Errorf("placement: per-path LP: %w", err)
+		}
 	}
-	sol, err := prob.SolveContext(ctx)
+	sol, err := lputil.Solve(ctx, "placement: per-path LP", prob)
 	if err != nil {
-		return nil, fmt.Errorf("placement: per-path LP: %w", err)
+		return nil, err
 	}
 
 	// Pipage rounding: F (Eq. 14) is multilinear and separates across
 	// items, so along a swap of (x_vi, x_vj) it is linear; moving toward
 	// the coordinate with the larger partial derivative never decreases
 	// F (the Section 4.3.1 rounding).
-	xFrac := make([][]float64, len(nodes))
-	for vi := range nodes {
-		xFrac[vi] = make([]float64, s.NumItems)
-		for i := 0; i < s.NumItems; i++ {
-			x := sol.X[xIdx(vi, i)]
-			if x < fracTol {
-				x = 0
-			} else if x > 1-fracTol {
-				x = 1
-			}
-			xFrac[vi][i] = x
-		}
-	}
+	xFrac := lputil.ExtractGrid(sol.X, 0, len(nodes), s.NumItems, lputil.Snap01(fracTol))
 	// byNodeItem[v][i] lists the paths of item i that visit node v.
 	pathsByItem := make([][]*ServingPath, s.NumItems)
 	for k := range paths {

@@ -24,9 +24,11 @@ import (
 	"math/rand"
 	"sort"
 
+	"jcr/internal/core/lputil"
 	"jcr/internal/flow"
 	"jcr/internal/graph"
 	"jcr/internal/lp"
+	"jcr/internal/par"
 	"jcr/internal/placement"
 	"jcr/internal/rng"
 )
@@ -79,6 +81,12 @@ type Options struct {
 	// rather than aborting the solve. Off by default, which preserves
 	// the strict historical behavior of erroring on unreachable demand.
 	BestEffort bool
+	// Workers bounds the worker pool for the independent per-item
+	// min-cost flows (the MMSFP fast path, where each item's flow is
+	// computed on its own clone of the auxiliary graph). Zero or negative
+	// means GOMAXPROCS. Results are merged in item order, so the output
+	// is identical for any worker count (see internal/par).
+	Workers int
 }
 
 const defaultLPMaxVars = 6000
@@ -166,8 +174,11 @@ func RouteContext(ctx context.Context, s *placement.Spec, pl *placement.Placemen
 			// partitioned); the flow solvers would otherwise fail the
 			// whole solve over it.
 			reach := reachableFrom(s.G, reps)
-			for v, r := range sinks {
+			// Sorted order keeps the floating-point subtraction sequence
+			// (and hence total's last bits) independent of map iteration.
+			for _, v := range sortedSinks(sinks) {
 				if !reach[v] {
+					r := sinks[v]
 					unserved[placement.Request{Item: i, Node: v}] = r
 					delete(sinks, v)
 					total -= r
@@ -201,16 +212,24 @@ func RouteContext(ctx context.Context, s *placement.Spec, pl *placement.Placemen
 		vs := aux.VirtualSource[k]
 		pfs, err := flow.Decompose(aux.G, flows[k], vs, ad.sinks)
 		if err != nil {
-			return nil, fmt.Errorf("routing: item %d: %w", ad.item, err)
+			return nil, fmt.Errorf("routing: item %d (%s flows): %w", ad.item, method, err)
 		}
+		// Group path options by requester in first-appearance order: map
+		// iteration order is randomized, and the order of `all` fixes both
+		// the rounding Rng draw assignment and the cost summation order,
+		// so it must be deterministic for bit-reproducible runs.
 		byReq := map[graph.NodeID][]flow.PathFlow{}
+		var sinkOrder []graph.NodeID
 		for _, pf := range pfs {
+			if _, seen := byReq[pf.Sink]; !seen {
+				sinkOrder = append(sinkOrder, pf.Sink)
+			}
 			byReq[pf.Sink] = append(byReq[pf.Sink], pf)
 		}
-		for sink, list := range byReq {
+		for _, sink := range sinkOrder {
 			all = append(all, reqOptions{
 				rq:   placement.Request{Item: ad.item, Node: sink},
-				list: list,
+				list: byReq[sink],
 			})
 		}
 	}
@@ -355,26 +374,34 @@ func reachableFrom(g *graph.Graph, roots []graph.NodeID) []bool {
 func splittableFlows(ctx context.Context, aux *graph.Auxiliary, active []itemDemand, opts Options) ([][]float64, string, error) {
 	g := aux.G
 	// 1. Independent per-item min-cost flows, each respecting the link
-	// capacities on its own.
+	// capacities on its own. The items are independent here — each one
+	// routes on its own clone of the auxiliary graph — so they fan out on
+	// the bounded pool; flows[k] is written only by item k's worker and
+	// the aggregation below runs sequentially in item order.
 	flows := make([][]float64, len(active))
-	agg := make([]float64, g.NumArcs())
-	independentOK := true
-	for k, ad := range active {
-		f, err := itemMinCostFlow(ctx, aux, k, ad.sinks, nil, false)
+	if err := par.Do(ctx, opts.Workers, len(active), func(k int) error {
+		f, err := itemMinCostFlow(ctx, aux, k, active[k].sinks, nil, false)
 		if err != nil {
 			if ctx != nil && ctx.Err() != nil {
-				return nil, "", err
+				return err
 			}
 			// Even this single item exceeds some capacity: route it
 			// capacity-obliviously; the congestion check below will
 			// send us to the coupled solvers.
-			f, err = itemMinCostFlow(ctx, aux, k, ad.sinks, nil, true)
+			f, err = itemMinCostFlow(ctx, aux, k, active[k].sinks, nil, true)
 			if err != nil {
-				return nil, "", err
+				return err
 			}
 		}
 		flows[k] = f
-		for id, v := range f {
+		return nil
+	}); err != nil {
+		return nil, "", err
+	}
+	agg := make([]float64, g.NumArcs())
+	independentOK := true
+	for k := range active {
+		for id, v := range flows[k] {
 			agg[id] += v
 		}
 	}
@@ -438,6 +465,17 @@ func splittableFlows(ctx context.Context, aux *graph.Auxiliary, active []itemDem
 // super-sink min-cost flow. residual, if non-nil, overrides arc capacities;
 // unlimited ignores capacities entirely (the capacity-oblivious last
 // resort, whose congestion the caller measures).
+// sortedSinks returns the sink nodes of a demand map in ascending node
+// order, giving map-backed loops a deterministic iteration sequence.
+func sortedSinks(sinks map[graph.NodeID]float64) []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(sinks))
+	for v := range sinks {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
 func itemMinCostFlow(ctx context.Context, aux *graph.Auxiliary, k int, sinks map[graph.NodeID]float64, residual []float64, unlimited bool) ([]float64, error) {
 	gg := aux.G.Clone()
 	switch {
@@ -455,9 +493,12 @@ func itemMinCostFlow(ctx context.Context, aux *graph.Auxiliary, k int, sinks map
 	}
 	super := gg.AddNode()
 	var total float64
-	for t, d := range sinks {
-		gg.AddArc(t, super, 0, d)
-		total += d
+	// Sorted sink order: the demand arcs' IDs influence which of several
+	// equal-cost flows the solver returns, so map iteration order must not
+	// leak into the graph construction.
+	for _, t := range sortedSinks(sinks) {
+		gg.AddArc(t, super, 0, sinks[t])
+		total += sinks[t]
 	}
 	res, err := flow.MinCostFlowContext(ctx, gg, aux.VirtualSource[k], super, total)
 	if err != nil {
@@ -479,19 +520,17 @@ func multicommodityLP(ctx context.Context, aux *graph.Auxiliary, active []itemDe
 			p.SetObjectiveCoeff(fIdx(k, e), g.Arc(e).Cost)
 		}
 	}
-	// Conservation per item and node.
+	// Conservation per item and node. Self-loop arcs appear in both Out
+	// and In, which the row builder coalesces to a zero coefficient.
+	row := lp.NewRowBuilder(p)
 	for k, ad := range active {
 		vs := aux.VirtualSource[k]
 		for v := 0; v < g.NumNodes(); v++ {
-			var idx []int
-			var val []float64
 			for _, e := range g.Out(v) {
-				idx = append(idx, fIdx(k, e))
-				val = append(val, 1)
+				row.Add(fIdx(k, e), 1)
 			}
 			for _, e := range g.In(v) {
-				idx = append(idx, fIdx(k, e))
-				val = append(val, -1)
+				row.Add(fIdx(k, e), -1)
 			}
 			supply := 0.0
 			if v == vs {
@@ -499,7 +538,7 @@ func multicommodityLP(ctx context.Context, aux *graph.Auxiliary, active []itemDe
 			} else if d, isSink := ad.sinks[v]; isSink {
 				supply = -d
 			}
-			if len(idx) == 0 {
+			if row.Len() == 0 {
 				if supply != 0 {
 					return nil, fmt.Errorf("routing: node %d has demand but no incident arcs", v)
 				}
@@ -508,7 +547,9 @@ func multicommodityLP(ctx context.Context, aux *graph.Auxiliary, active []itemDe
 			// Other items' virtual sources are isolated from item
 			// k's flow: their virtual arcs stay unused because no
 			// flow can enter them (in-degree 0 for vs).
-			p.AddConstraint(idx, val, lp.EQ, supply)
+			if err := row.Constrain(lp.EQ, supply); err != nil {
+				return nil, fmt.Errorf("routing: multicommodity LP: %w", err)
+			}
 		}
 	}
 	// Shared capacities on real arcs.
@@ -517,25 +558,16 @@ func multicommodityLP(ctx context.Context, aux *graph.Auxiliary, active []itemDe
 		if math.IsInf(c, 1) {
 			continue
 		}
-		idx := make([]int, nc)
-		val := make([]float64, nc)
 		for k := 0; k < nc; k++ {
-			idx[k], val[k] = fIdx(k, e), 1
+			row.Add(fIdx(k, e), 1)
 		}
-		p.AddConstraint(idx, val, lp.LE, c)
+		if err := row.Constrain(lp.LE, c); err != nil {
+			return nil, fmt.Errorf("routing: multicommodity LP: %w", err)
+		}
 	}
-	sol, err := p.SolveContext(ctx)
+	sol, err := lputil.Solve(ctx, "routing: multicommodity LP", p)
 	if err != nil {
-		return nil, fmt.Errorf("routing: multicommodity LP: %w", err)
+		return nil, err
 	}
-	flows := make([][]float64, nc)
-	for k := 0; k < nc; k++ {
-		flows[k] = make([]float64, m)
-		for e := 0; e < m; e++ {
-			if v := sol.X[fIdx(k, e)]; v > flowEps {
-				flows[k][e] = v
-			}
-		}
-	}
-	return flows, nil
+	return lputil.ExtractGrid(sol.X, 0, nc, m, lputil.Floor(flowEps)), nil
 }

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json race vet lint cover experiments examples clean
+.PHONY: all build test bench bench-json bench-compare race vet lint cover experiments examples clean
 
 all: build lint test
 
@@ -28,10 +28,19 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable substrate micro-benchmarks (LP pivots/sec sparse vs
-# dense, MMSFP wall time, experiment-harness times) for tracking the perf
-# trajectory across PRs.
+# dense, warm-vs-cold solver resolves, MMSFP wall time, experiment-harness
+# times) for tracking the perf trajectory across PRs.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_pr3.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr4.json
+
+# Perf gate: fail if the current tree regressed the LP micro-benchmarks by
+# more than 15% against the committed previous-PR baseline (CI runs this,
+# skippable with the `skip-bench` PR label).
+bench-compare:
+	$(GO) run ./cmd/benchjson -only lp_sparse_solve -repeat 3 -out /tmp/bench_head.json
+	$(GO) run ./cmd/benchjson -compare \
+		-names lp_sparse_solve_placement,lp_sparse_solve_mmsfp_sized \
+		BENCH_pr3.json /tmp/bench_head.json
 
 # Full suite under the race detector (also a CI job).
 race:

@@ -6,7 +6,12 @@
 //
 // Usage:
 //
-//	benchjson [-out BENCH_pr3.json] [-mc 1]
+//	benchjson [-out BENCH_pr4.json] [-mc 1] [-only lp_solver,alternating]
+//	benchjson -compare [-names lp_sparse_solve_placement,...] old.json new.json
+//
+// Compare mode reads two reports and exits non-zero when any compared
+// benchmark's ns/op regressed by more than regressionThreshold, the CI
+// perf gate.
 package main
 
 import (
@@ -17,15 +22,25 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 	"testing"
 	"time"
 
+	"jcr/internal/core"
+	"jcr/internal/core/lputil"
 	"jcr/internal/experiments"
 	"jcr/internal/graph"
 	"jcr/internal/lp"
 	"jcr/internal/msufp"
+	"jcr/internal/placement"
 	"jcr/internal/topo"
 )
+
+// regressionThreshold is the relative ns/op increase above which compare
+// mode fails: 15%, loose enough for shared-runner noise on the macro
+// benchmarks the CI gate pins.
+const regressionThreshold = 0.15
 
 // Result is one benchmark row of the emitted JSON.
 type Result struct {
@@ -45,9 +60,39 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr3.json", "output file ('-' = stdout)")
+	out := flag.String("out", "BENCH_pr4.json", "output file ('-' = stdout)")
 	mc := flag.Int("mc", 1, "Monte-Carlo runs for the experiment-harness timings")
+	repeat := flag.Int("repeat", 1, "repetitions per micro-benchmark; the minimum ns/op is reported (damps machine noise for compare mode)")
+	compare := flag.Bool("compare", false, "compare two report files (old new) and exit non-zero on regression")
+	names := flag.String("names", "", "comma-separated benchmark names compare mode checks (default: all shared names)")
+	only := flag.String("only", "", "comma-separated substrings; run only benchmarks whose name contains one")
 	flag.Parse()
+	if *compare {
+		os.Exit(runCompare(flag.Args(), *names))
+	}
+	want := func(name string) bool {
+		if *only == "" {
+			return true
+		}
+		for _, tok := range strings.Split(*only, ",") {
+			if tok != "" && strings.Contains(name, tok) {
+				return true
+			}
+		}
+		return false
+	}
+	// bench runs f through testing.Benchmark -repeat times and keeps the
+	// fastest run: the minimum is the least-noise estimator on a shared
+	// machine, which is what the regression gate wants to compare.
+	bench := func(f func(*testing.B)) testing.BenchmarkResult {
+		best := testing.Benchmark(f)
+		for r := 1; r < *repeat; r++ {
+			if res := testing.Benchmark(f); res.NsPerOp() < best.NsPerOp() {
+				best = res
+			}
+		}
+		return best
+	}
 	rep := Report{Go: fmt.Sprintf("%d maxprocs", maxProcs())}
 
 	// LP micro-benchmarks: the placement-LP-shaped instance from
@@ -67,9 +112,12 @@ func main() {
 			{"placement", placementLP},
 			{"mmsfp_sized", mmsfpSizedLP},
 		} {
+			if !want(b.name + "_" + in.tag) {
+				continue
+			}
 			solve, build := b.solve, in.build
 			var pivots int
-			res := testing.Benchmark(func(tb *testing.B) {
+			res := bench(func(tb *testing.B) {
 				tb.ReportAllocs()
 				for i := 0; i < tb.N; i++ {
 					sol, err := solve(build())
@@ -87,17 +135,78 @@ func main() {
 		}
 	}
 
-	// MMSFP wall time: Algorithm 2 at K=1000 on the Fig. 6 instance scale.
-	inst := msufpInstance()
-	res := testing.Benchmark(func(tb *testing.B) {
-		tb.ReportAllocs()
-		for i := 0; i < tb.N; i++ {
-			if _, err := msufp.SolveAlg2(inst, 1000); err != nil {
-				tb.Fatal(err)
-			}
+	// Warm-vs-cold LP resolves: the mmsfp-shaped instance under a
+	// perturbation sequence (RHS and objective moves), solved through a
+	// reusable Solver handle versus one-shot. The pair is the LP-layer
+	// speedup the incremental solve lifecycle buys.
+	for _, b := range []struct {
+		name string
+		warm bool
+	}{
+		{"lp_solver_warm_perturb", true},
+		{"lp_solver_cold_perturb", false},
+	} {
+		if !want(b.name) {
+			continue
 		}
-	})
-	rep.Benchmarks = append(rep.Benchmarks, toResult("msufp_alg2_k1000", res))
+		warm := b.warm
+		res := bench(func(tb *testing.B) {
+			tb.ReportAllocs()
+			p := mmsfpSizedLP()
+			var solver *lp.Solver
+			if warm {
+				solver = lp.NewSolver()
+			}
+			rng := rand.New(rand.NewSource(3))
+			for i := 0; i < tb.N; i++ {
+				must(p.SetConstraintRHS(rng.Intn(p.NumConstraints()), 5+rng.Float64()))
+				p.SetObjectiveCoeff(rng.Intn(p.NumVars()), 1+rng.Float64())
+				if _, err := solver.Solve(p); err != nil {
+					tb.Fatal(err)
+				}
+			}
+		})
+		rep.Benchmarks = append(rep.Benchmarks, toResult(b.name, res))
+	}
+
+	// End-to-end alternating optimization over an hourly demand drift, with
+	// and without carried solver state (warm-started per-path LPs, routing
+	// caches) — the PR-4 acceptance benchmark.
+	for _, b := range []struct {
+		name string
+		warm bool
+	}{
+		{"alternating_sequence_warm", true},
+		{"alternating_sequence_cold", false},
+	} {
+		if !want(b.name) {
+			continue
+		}
+		warm := b.warm
+		res := bench(func(tb *testing.B) {
+			tb.ReportAllocs()
+			for i := 0; i < tb.N; i++ {
+				if err := alternatingSequence(warm); err != nil {
+					tb.Fatal(err)
+				}
+			}
+		})
+		rep.Benchmarks = append(rep.Benchmarks, toResult(b.name, res))
+	}
+
+	// MMSFP wall time: Algorithm 2 at K=1000 on the Fig. 6 instance scale.
+	if want("msufp_alg2_k1000") {
+		inst := msufpInstance()
+		res := bench(func(tb *testing.B) {
+			tb.ReportAllocs()
+			for i := 0; i < tb.N; i++ {
+				if _, err := msufp.SolveAlg2(inst, 1000); err != nil {
+					tb.Fatal(err)
+				}
+			}
+		})
+		rep.Benchmarks = append(rep.Benchmarks, toResult("msufp_alg2_k1000", res))
+	}
 
 	// Experiment-harness wall times: one timed pass per table/figure id
 	// (benchmarks would re-run these many times; a single pass is what the
@@ -105,6 +214,9 @@ func main() {
 	cfg := experiments.DefaultConfig()
 	cfg.MonteCarloRuns = *mc
 	for _, id := range []string{"table2", "fig5", "fig6"} {
+		if !want("harness_" + id) {
+			continue
+		}
 		e, err := experiments.Lookup(id)
 		if err != nil {
 			fatal(err)
@@ -133,6 +245,85 @@ func main() {
 		fatal(err)
 	}
 	fmt.Println("wrote", *out)
+}
+
+// runCompare implements -compare: it loads the two report files (old then
+// new), lines their benchmarks up by name, prints an old/new/ratio table,
+// and returns 1 when any compared benchmark's ns/op grew by more than
+// regressionThreshold (2 on usage or read errors, 0 otherwise).
+func runCompare(files []string, names string) int {
+	if len(files) != 2 {
+		fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two report files: old.json new.json")
+		return 2
+	}
+	oldBy, err := loadReport(files[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newBy, err := loadReport(files[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	var check []string
+	if names != "" {
+		for _, n := range strings.Split(names, ",") {
+			if n != "" {
+				check = append(check, n)
+			}
+		}
+	} else {
+		for n := range oldBy {
+			if _, ok := newBy[n]; ok {
+				check = append(check, n)
+			}
+		}
+		sort.Strings(check)
+	}
+	if len(check) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no shared benchmarks to compare")
+		return 2
+	}
+	regressions := 0
+	for _, n := range check {
+		o, okOld := oldBy[n]
+		nw, okNew := newBy[n]
+		if !okOld || !okNew || o.NsPerOp <= 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %s missing from a report (old %v, new %v)\n", n, okOld, okNew)
+			regressions++
+			continue
+		}
+		ratio := nw.NsPerOp / o.NsPerOp
+		verdict := "ok"
+		if ratio > 1+regressionThreshold {
+			verdict = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-32s %14.0f -> %14.0f ns/op  %5.2fx  %s\n", n, o.NsPerOp, nw.NsPerOp, ratio, verdict)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond %.0f%%\n", regressions, 100*regressionThreshold)
+		return 1
+	}
+	return 0
+}
+
+// loadReport reads a report file into a name-indexed map.
+func loadReport(path string) (map[string]Result, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	by := make(map[string]Result, len(rep.Benchmarks))
+	for _, r := range rep.Benchmarks {
+		by[r.Name] = r
+	}
+	return by, nil
 }
 
 func toResult(name string, res testing.BenchmarkResult) Result {
@@ -168,7 +359,7 @@ func maxProcs() int {
 func placementLP() *lp.Problem {
 	rng := rand.New(rand.NewSource(4))
 	const items, nodes, reqs = 30, 8, 120
-	p := lp.NewProblem(items*nodes + reqs)
+	p := lputil.NewProblem(items*nodes + reqs)
 	p.SetSense(lp.Maximize)
 	for r := 0; r < reqs; r++ {
 		y := items*nodes + r
@@ -176,8 +367,14 @@ func placementLP() *lp.Problem {
 		p.SetBounds(y, 0, 1)
 		idx := []int{y}
 		val := []float64{1}
+		seen := map[int]bool{}
 		for k := 0; k < 4; k++ {
-			idx = append(idx, rng.Intn(items*nodes))
+			x := rng.Intn(items * nodes)
+			if seen[x] {
+				continue // the LP core rejects duplicate row indices
+			}
+			seen[x] = true
+			idx = append(idx, x)
 			val = append(val, -rng.Float64())
 		}
 		must(p.AddConstraint(idx, val, lp.LE, 0.1))
@@ -200,7 +397,7 @@ func mmsfpSizedLP() *lp.Problem {
 	rng := rand.New(rand.NewSource(7))
 	const nItems, nArcs = 12, 150
 	n := nItems * nArcs
-	p := lp.NewProblem(n)
+	p := lputil.NewProblem(n)
 	for j := 0; j < n; j++ {
 		p.SetBounds(j, 0, 10)
 		p.SetObjectiveCoeff(j, 1+rng.Float64())
@@ -235,6 +432,80 @@ func mmsfpSizedLP() *lp.Problem {
 		must(p.AddConstraint(idx, val, lp.LE, 30))
 	}
 	return p
+}
+
+// benchSequence is the hourly demand drift driven by alternatingSequence,
+// built once: an Abovenet instance whose request magnitudes scale hour to
+// hour while the network and the requesting pairs stay fixed — exactly the
+// regime the incremental solve lifecycle targets.
+var benchSequence []*placement.Spec
+
+func benchSequenceSpecs() []*placement.Spec {
+	if benchSequence != nil {
+		return benchSequence
+	}
+	net := topo.Abovenet(1)
+	rng := rand.New(rand.NewSource(5))
+	net.AssignCosts(rng, 100, 200, 1, 20)
+	net.SetUnlimitedCapacity()
+	const items, hours = 24, 8
+	base := make([][]float64, items)
+	for i := range base {
+		base[i] = make([]float64, net.G.NumNodes())
+		for _, e := range net.Edges {
+			// Zipf-flavored popularity over a fixed requester set.
+			base[i][e] = 10 * rng.Float64() / float64(i+1)
+		}
+	}
+	caps := make([]float64, net.G.NumNodes())
+	for v := range caps {
+		if v != int(net.Origin) {
+			caps[v] = 3
+		}
+	}
+	for h := 0; h < hours; h++ {
+		scale := 1 + 0.1*float64(h)
+		rates := make([][]float64, items)
+		for i := range rates {
+			rates[i] = make([]float64, len(base[i]))
+			for v := range rates[i] {
+				rates[i][v] = base[i][v] * scale
+			}
+		}
+		// A fresh Spec per hour sharing one graph: mutated demand needs a
+		// new Spec identity for the routing demand cache's pointer contract.
+		benchSequence = append(benchSequence, &placement.Spec{
+			G:        net.G,
+			NumItems: items,
+			CacheCap: append([]float64(nil), caps...),
+			Pinned:   []graph.NodeID{net.Origin},
+			Rates:    rates,
+		})
+	}
+	return benchSequence
+}
+
+// alternatingSequence runs the alternating optimizer over the hourly drift,
+// seeding each hour with the previous placement — with carried solver state
+// (warm) or from scratch every hour (cold).
+func alternatingSequence(warm bool) error {
+	var state *core.SolveState
+	if warm {
+		state = core.NewSolveState()
+	}
+	var prev *placement.Placement
+	for _, spec := range benchSequenceSpecs() {
+		sol, err := core.Alternating(spec, core.AlternatingOptions{
+			Fractional: true,
+			Initial:    prev,
+			State:      state,
+		})
+		if err != nil {
+			return err
+		}
+		prev = sol.Placement
+	}
+	return nil
 }
 
 // msufpInstance mirrors benchMSUFPInstance from bench_test.go: 486

@@ -33,6 +33,7 @@ var allAnalyzers = []*analyzer{
 	{"tol-literal", "scientific-notation tolerance literals must be named package-level constants", runTolLiteral},
 	{"bg-context", "no context.Background()/context.TODO() in library packages; thread the caller's ctx", runBgContext},
 	{"go-stmt", "no bare go statements outside jcr/internal/par; fan-out goes through the worker pool", runGoStmt},
+	{"lp-ctor", "no direct lp.NewProblem outside the LP core; lputil.NewProblem is the designated constructor", runLPCtor},
 }
 
 // Lint runs the selected analyzers over one package and applies the

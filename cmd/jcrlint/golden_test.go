@@ -25,6 +25,7 @@ func TestGolden(t *testing.T) {
 		{"tolliteral", "tol-literal"},
 		{"bgcontext", "bg-context"},
 		{"gostmt", "go-stmt"},
+		{"lpctor", "lp-ctor"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {
@@ -79,6 +80,32 @@ func lintFixture(t *testing.T, fixture, analyzer string) string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// TestSolverAPILintsClean pins the incremental-solve surface added in PR 4:
+// the warm-start Solver handle, the lputil constructors, and the layers that
+// thread them (routing caches, alternating SolveState, online policy reuse)
+// must lint clean under every analyzer — including lp-ctor, whose exemption
+// list covers exactly the LP core and lputil.
+func TestSolverAPILintsClean(t *testing.T) {
+	pkgs, err := loadPackages([]string{
+		"jcr/internal/lp",
+		"jcr/internal/core/lputil",
+		"jcr/internal/core",
+		"jcr/internal/routing",
+		"jcr/internal/online",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 5 {
+		t.Fatalf("loaded %d packages, want 5", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		if diags := Lint(pkg, allAnalyzers); len(diags) > 0 {
+			t.Errorf("%s flagged: %v", pkg.Path, diags)
+		}
+	}
 }
 
 // TestGoStmtExemptsPar pins the one allowed home for bare go statements:

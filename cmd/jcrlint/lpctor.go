@@ -1,0 +1,52 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// lpPackage owns the LP core; lputilPackage owns the repo's problem-building
+// conventions (labelled diagnostics, the designated constructor).
+const (
+	lpPackage     = "jcr/internal/lp"
+	lputilPackage = "jcr/internal/core/lputil"
+)
+
+// runLPCtor keeps lp.Problem construction behind the lputil helpers:
+// lputil.NewProblem is the designated constructor everywhere outside the LP
+// core itself (and its tests, which the loader does not analyze) and lputil.
+// A direct lp.NewProblem call elsewhere bypasses the conventions lputil
+// exists to centralize — labelled diagnostics via lputil.Solve/SolveWith and
+// a single audit point for how problems enter the warm-start lifecycle
+// (DESIGN.md §3.9).
+func runLPCtor(pkg *Package) []Diagnostic {
+	if pkg.Path == lpPackage || pkg.Path == lputilPackage ||
+		strings.HasSuffix(pkg.Path, "/internal/lp") || strings.HasSuffix(pkg.Path, "/internal/core/lputil") {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if selectorPackage(pkg, sel) != lpPackage || sel.Sel.Name != "NewProblem" {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      pkg.Fset.Position(call.Pos()),
+				Analyzer: "lp-ctor",
+				Message: fmt.Sprintf("direct lp.NewProblem outside %s; construct problems with lputil.NewProblem so every LP goes through the labelled-solve and warm-start conventions",
+					lpPackage),
+			})
+			return true
+		})
+	}
+	return diags
+}

@@ -1,0 +1,26 @@
+// Package lpctor is a jcrlint golden-test fixture for the lp-ctor
+// analyzer: direct lp.Problem construction versus the designated
+// lputil.NewProblem helper.
+package lpctor
+
+import (
+	"jcr/internal/core/lputil"
+	"jcr/internal/lp"
+)
+
+// Bad constructs an lp.Problem directly (the violation): the problem
+// bypasses the labelled-solve and warm-start conventions lputil owns.
+func Bad() *lp.Problem {
+	return lp.NewProblem(3)
+}
+
+// Good builds the problem through the designated constructor (compliant),
+// and may still use the rest of the lp API freely.
+func Good() (*lp.Problem, error) {
+	p := lputil.NewProblem(3)
+	p.SetObjectiveCoeff(0, 1)
+	if err := p.AddConstraint([]int{0, 1}, []float64{1, 1}, lp.LE, 2); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -10,6 +10,7 @@ import (
 	"math"
 	"math/rand"
 
+	"jcr/internal/lp"
 	"jcr/internal/placement"
 	"jcr/internal/rng"
 	"jcr/internal/routing"
@@ -98,6 +99,45 @@ type AlternatingOptions struct {
 	// for any worker count (see internal/par). A Workers set explicitly
 	// on Routing takes precedence for the routing step.
 	Workers int
+	// State, when non-nil, carries solver state across rounds and across
+	// repeated Alternating calls on the same instance: the per-path LP's
+	// warm-start handle and the routing caches (see SolveState). Nil solves
+	// every subproblem from scratch. A Routing.Reuse set explicitly takes
+	// precedence for the routing step.
+	State *SolveState
+}
+
+// SolveState bundles the reusable solver state of the alternating
+// optimizer's two subproblems: the Eq. (15) per-path LP's warm-start handle
+// and the routing layer's caches (demand sets, auxiliary graph,
+// multicommodity LP skeleton). The alternating loop re-solves structurally
+// repeating problems every round — and the online controller re-runs the
+// whole loop every hour — so carrying the state across calls turns most of
+// those solves into warm starts. Correctness is unaffected: every layer
+// validates its cache and rebuilds (or re-solves cold) on any mismatch.
+//
+// A SolveState is not safe for concurrent use; give parallel workers (e.g.
+// Monte-Carlo samples) one handle each, never a shared one (DESIGN.md §3.9).
+type SolveState struct {
+	// PerPath warm-starts the per-path placement LP.
+	PerPath *lp.Solver
+	// Routing carries the routing-layer caches.
+	Routing *routing.Reuse
+}
+
+// NewSolveState returns an empty handle; every first solve is cold.
+func NewSolveState() *SolveState {
+	return &SolveState{PerPath: lp.NewSolver(), Routing: routing.NewReuse()}
+}
+
+// Invalidate drops all retained state, forcing the next solves cold.
+// Nil-safe.
+func (st *SolveState) Invalidate() {
+	if st == nil {
+		return
+	}
+	st.PerPath.Invalidate()
+	st.Routing.Invalidate()
 }
 
 // Alternating runs the paper's alternating optimization: starting from a
@@ -137,6 +177,13 @@ func AlternatingContext(ctx context.Context, s *placement.Spec, opts Alternating
 	if ropts.Workers == 0 {
 		ropts.Workers = opts.Workers
 	}
+	var perPathSolver *lp.Solver
+	if opts.State != nil {
+		perPathSolver = opts.State.PerPath
+		if ropts.Reuse == nil {
+			ropts.Reuse = opts.State.Routing
+		}
+	}
 	pl := opts.Initial
 	if pl == nil {
 		pl = s.NewPlacement()
@@ -157,6 +204,7 @@ func AlternatingContext(ctx context.Context, s *placement.Spec, opts Alternating
 		newPl, err := placement.PlacePerPathOpts(ctx, s, best.Routing.Paths, placement.PerPathOptions{
 			Method:  opts.PlacementMethod,
 			Workers: opts.Workers,
+			Solver:  perPathSolver,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: iteration %d placement: %w", iter, err)

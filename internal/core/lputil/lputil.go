@@ -14,11 +14,27 @@ import (
 	"jcr/internal/lp"
 )
 
+// NewProblem returns a fresh linear program with n variables. It is the
+// designated constructor for every LP built outside internal/lp: routing
+// lp.NewProblem through here keeps the set of skeleton-building entry
+// points auditable in one package (the jcrlint lp-ctor analyzer enforces
+// this).
+func NewProblem(n int) *lp.Problem { return lp.NewProblem(n) }
+
 // Solve runs p.SolveContext and wraps any failure as "<label>: <err>", the
 // labeling convention every call site used by hand before. The wrap
 // preserves errors.Is on the lp sentinel errors.
 func Solve(ctx context.Context, label string, p *lp.Problem) (*lp.Solution, error) {
-	sol, err := p.SolveContext(ctx)
+	return SolveWith(ctx, nil, label, p)
+}
+
+// SolveWith is Solve through a reusable lp.Solver handle: s carries the
+// previous solve's optimal basis and factorization, so a structurally
+// repeated problem warm-starts instead of re-running phase 1 from scratch
+// (see internal/lp's Solver). A nil s solves one-shot, identical to Solve,
+// so call sites can thread an optional handle without branching.
+func SolveWith(ctx context.Context, s *lp.Solver, label string, p *lp.Problem) (*lp.Solution, error) {
+	sol, err := s.SolveContext(ctx, p)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", label, err)
 	}

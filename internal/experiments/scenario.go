@@ -181,6 +181,7 @@ func (sc *Scenario) MakeRun(p RunParams) (*Run, error) {
 		Origin: sc.Net.Origin,
 		Edges:  sc.Net.Edges,
 	}
+	net.IndexRoles()
 	nEdges := len(net.Edges)
 	spreadRng := rng.Derive(cfg.Seed, 40000+p.MCSeed)
 	weights := make([][]float64, len(items))

@@ -48,6 +48,21 @@ type resNet struct {
 	cap  []float64
 	cost []float64
 	orig []graph.ArcID // orig[a]: the input arc this residual arc came from
+
+	// Dijkstra scratch, reused across the successive-shortest-path
+	// augmentations (one dijkstra call per augmentation adds up on dense
+	// instances; reusing the labels and the heap keeps the inner loop
+	// allocation-free).
+	dist   []float64
+	parent []int
+	done   []bool
+	heap   []hEnt
+}
+
+// hEnt is a binary-heap entry for Dijkstra: node v with tentative label d.
+type hEnt struct {
+	v int
+	d float64
 }
 
 func newResNet(g *graph.Graph) *resNet {
@@ -83,59 +98,68 @@ func (r *resNet) addPair(u, v int, capacity, cost float64, orig graph.ArcID) {
 	r.head[v] = f + 1
 }
 
+// heapPush inserts e into the scratch heap.
+func (r *resNet) heapPush(e hEnt) {
+	heap := append(r.heap, e)
+	i := len(heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if heap[p].d <= heap[i].d {
+			break
+		}
+		heap[p], heap[i] = heap[i], heap[p]
+		i = p
+	}
+	r.heap = heap
+}
+
+// heapPop removes and returns the minimum entry of the scratch heap.
+func (r *resNet) heapPop() hEnt {
+	heap := r.heap
+	e := heap[0]
+	last := len(heap) - 1
+	heap[0] = heap[last]
+	heap = heap[:last]
+	i := 0
+	for {
+		l, rr := 2*i+1, 2*i+2
+		s := i
+		if l < last && heap[l].d < heap[s].d {
+			s = l
+		}
+		if rr < last && heap[rr].d < heap[s].d {
+			s = rr
+		}
+		if s == i {
+			break
+		}
+		heap[s], heap[i] = heap[i], heap[s]
+		i = s
+	}
+	r.heap = heap
+	return e
+}
+
 // dijkstra computes shortest reduced-cost distances from src; parent[v] is
-// the residual arc entering v on the shortest path.
+// the residual arc entering v on the shortest path. The returned slices are
+// the receiver's scratch, valid until the next call.
 func (r *resNet) dijkstra(src int, pot []float64) (dist []float64, parent []int) {
-	dist = make([]float64, r.n)
-	parent = make([]int, r.n)
-	done := make([]bool, r.n)
+	if r.dist == nil {
+		r.dist = make([]float64, r.n)
+		r.parent = make([]int, r.n)
+		r.done = make([]bool, r.n)
+	}
+	dist, parent, done := r.dist, r.parent, r.done
 	for v := range dist {
 		dist[v] = math.Inf(1)
 		parent[v] = -1
+		done[v] = false
 	}
 	dist[src] = 0
-	type hEnt struct {
-		v int
-		d float64
-	}
-	heap := []hEnt{{src, 0}}
-	push := func(e hEnt) {
-		heap = append(heap, e)
-		i := len(heap) - 1
-		for i > 0 {
-			p := (i - 1) / 2
-			if heap[p].d <= heap[i].d {
-				break
-			}
-			heap[p], heap[i] = heap[i], heap[p]
-			i = p
-		}
-	}
-	pop := func() hEnt {
-		e := heap[0]
-		last := len(heap) - 1
-		heap[0] = heap[last]
-		heap = heap[:last]
-		i := 0
-		for {
-			l, rr := 2*i+1, 2*i+2
-			s := i
-			if l < last && heap[l].d < heap[s].d {
-				s = l
-			}
-			if rr < last && heap[rr].d < heap[s].d {
-				s = rr
-			}
-			if s == i {
-				break
-			}
-			heap[s], heap[i] = heap[i], heap[s]
-			i = s
-		}
-		return e
-	}
-	for len(heap) > 0 {
-		e := pop()
+	r.heap = r.heap[:0]
+	r.heapPush(hEnt{src, 0})
+	for len(r.heap) > 0 {
+		e := r.heapPop()
 		if done[e.v] || e.d > dist[e.v] {
 			continue
 		}
@@ -154,7 +178,7 @@ func (r *resNet) dijkstra(src int, pot []float64) (dist []float64, parent []int)
 			if nd := e.d + rc; nd < dist[w]-distTol {
 				dist[w] = nd
 				parent[w] = a
-				push(hEnt{w, nd})
+				r.heapPush(hEnt{w, nd})
 			}
 		}
 	}

@@ -39,7 +39,17 @@ type Graph struct {
 	// out[v] lists the arc IDs leaving v; in_[v] the arc IDs entering v.
 	out [][]ArcID
 	in  [][]ArcID
+	// gen counts mutations (node/arc additions, capacity/cost overrides).
+	// Caches keyed on a *Graph (e.g. routing's auxiliary-graph reuse) record
+	// the generation they were built at and rebuild when it moves, so fault
+	// injection mutating capacities in place cannot serve stale topology.
+	gen uint64
 }
+
+// Gen returns the mutation generation: it changes whenever the graph does.
+// Two calls returning the same value on the same *Graph bracket a window
+// with no structural or weight mutations.
+func (g *Graph) Gen() uint64 { return g.gen }
 
 // New returns a graph with n nodes and no arcs.
 func New(n int) *Graph {
@@ -59,6 +69,7 @@ func (g *Graph) NumArcs() int { return len(g.arcs) }
 func (g *Graph) AddNode() NodeID {
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
+	g.gen++
 	return len(g.out) - 1
 }
 
@@ -78,6 +89,7 @@ func (g *Graph) AddArc(from, to NodeID, cost, capacity float64) ArcID {
 	g.arcs = append(g.arcs, Arc{From: from, To: to, Cost: cost, Cap: capacity})
 	g.out[from] = append(g.out[from], id)
 	g.in[to] = append(g.in[to], id)
+	g.gen++
 	return id
 }
 
@@ -101,7 +113,10 @@ func (g *Graph) Arcs() []Arc {
 }
 
 // SetArcCap overrides the capacity of an arc.
-func (g *Graph) SetArcCap(id ArcID, capacity float64) { g.arcs[id].Cap = capacity }
+func (g *Graph) SetArcCap(id ArcID, capacity float64) {
+	g.arcs[id].Cap = capacity
+	g.gen++
+}
 
 // SetArcCost overrides the cost of an arc.
 func (g *Graph) SetArcCost(id ArcID, cost float64) {
@@ -110,6 +125,7 @@ func (g *Graph) SetArcCost(id ArcID, cost float64) {
 		panic(fmt.Sprintf("graph: negative arc cost %v", cost))
 	}
 	g.arcs[id].Cost = cost
+	g.gen++
 }
 
 // Out returns the IDs of arcs leaving v. The returned slice must not be
@@ -149,6 +165,7 @@ func (g *Graph) Clone() *Graph {
 		c.out[v] = append([]ArcID(nil), g.out[v]...)
 		c.in[v] = append([]ArcID(nil), g.in[v]...)
 	}
+	c.gen = g.gen
 	return c
 }
 

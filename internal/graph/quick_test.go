@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"reflect"
@@ -87,7 +88,7 @@ func TestQuickKShortestSortedDistinct(t *testing.T) {
 				return false
 			}
 			last = c
-			key := pathKey(p)
+			key := fmt.Sprint(p.Arcs)
 			if seen[key] {
 				return false
 			}

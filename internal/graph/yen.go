@@ -25,7 +25,8 @@ func KShortestPaths(g *Graph, src, dst NodeID, k int) []Path {
 		cost float64
 	}
 	var candidates []cand
-	seen := map[string]struct{}{pathKey(first): {}}
+	var seen pathSet
+	seen.add(first.Arcs)
 
 	for len(accepted) < k {
 		prev := accepted[len(accepted)-1]
@@ -63,11 +64,9 @@ func KShortestPaths(g *Graph, src, dst NodeID, k int) []Path {
 				continue
 			}
 			total := Path{Arcs: append(append([]ArcID(nil), rootArcs...), spur.Arcs...)}
-			key := pathKey(total)
-			if _, dup := seen[key]; dup {
+			if !seen.add(total.Arcs) {
 				continue
 			}
-			seen[key] = struct{}{}
 			candidates = append(candidates, cand{path: total, cost: total.Cost(g)})
 		}
 		if len(candidates) == 0 {
@@ -80,13 +79,35 @@ func KShortestPaths(g *Graph, src, dst NodeID, k int) []Path {
 	return accepted
 }
 
-func pathKey(p Path) string {
-	// Compact byte signature of the arc sequence.
-	b := make([]byte, 0, 4*len(p.Arcs))
-	for _, id := range p.Arcs {
-		b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+// pathSet deduplicates arc sequences without the per-lookup string
+// allocation a map[string] key costs: sequences hash (FNV-1a over the arc
+// IDs) into buckets whose members are compared arc-by-arc, so collisions
+// cost a slice walk instead of correctness. The stored sequences alias the
+// candidate paths, which Yen's loop never mutates after insertion.
+type pathSet struct {
+	buckets map[uint64][][]ArcID
+}
+
+// add inserts the sequence and reports whether it was new.
+func (s *pathSet) add(arcs []ArcID) bool {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	var h uint64 = fnvOffset
+	for _, id := range arcs {
+		h = (h ^ uint64(uint32(id))) * fnvPrime
 	}
-	return string(b)
+	if s.buckets == nil {
+		s.buckets = map[uint64][][]ArcID{}
+	}
+	for _, prev := range s.buckets[h] {
+		if sameArcs(prev, arcs) {
+			return false
+		}
+	}
+	s.buckets[h] = append(s.buckets[h], arcs)
+	return true
 }
 
 func sameArcs(a, b []ArcID) bool {

@@ -171,3 +171,58 @@ func TestAuxiliaryStripNonVirtual(t *testing.T) {
 		t.Errorf("StripVirtual(empty) = (%v, %d)", empty, src)
 	}
 }
+
+// TestPathSetDedup pins the non-allocating dedup set: repeats are rejected,
+// distinct sequences (including prefixes, which share a hash prefix walk)
+// are kept, and the empty sequence is a valid member.
+func TestPathSetDedup(t *testing.T) {
+	var s pathSet
+	seqs := [][]ArcID{
+		{},
+		{1},
+		{1, 2},
+		{2, 1},
+		{1, 2, 3},
+	}
+	for i, q := range seqs {
+		if !s.add(q) {
+			t.Errorf("sequence %d rejected on first insert", i)
+		}
+	}
+	for i, q := range seqs {
+		if s.add(append([]ArcID(nil), q...)) {
+			t.Errorf("sequence %d accepted twice", i)
+		}
+	}
+}
+
+// benchYenGraph is a grid with parallel arcs, dense in distinct simple
+// paths, so Yen's dedup set does real work.
+func benchYenGraph() *Graph {
+	const side = 6
+	g := New(side * side)
+	at := func(r, c int) NodeID { return r*side + c }
+	rng := rand.New(rand.NewSource(11))
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			if c+1 < side {
+				g.AddEdge(at(r, c), at(r, c+1), 1+rng.Float64(), Unlimited)
+			}
+			if r+1 < side {
+				g.AddEdge(at(r, c), at(r+1, c), 1+rng.Float64(), Unlimited)
+			}
+		}
+	}
+	return g
+}
+
+func BenchmarkKShortestPaths(b *testing.B) {
+	g := benchYenGraph()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := KShortestPaths(g, 0, g.NumNodes()-1, 25); len(got) != 25 {
+			b.Fatalf("got %d paths", len(got))
+		}
+	}
+}

@@ -78,6 +78,14 @@ type Problem struct {
 	// seen[j] == seenGen marks j as present in the row being validated.
 	seen    []int
 	seenGen int
+
+	// structGen counts structural mutations (constraint additions). The
+	// objective, bounds, right-hand sides, and coefficient values of
+	// existing skeleton entries are data; the variable count, the
+	// operators, and the index patterns are structure. A reusable Solver
+	// warm-starts only across data changes, and uses structGen to detect
+	// cheaply that an instance it solved before kept its skeleton.
+	structGen int
 }
 
 // NewProblem returns a problem with n variables, default bounds [0, +Inf),
@@ -149,7 +157,38 @@ func (p *Problem) AddConstraint(idx []int, val []float64, op Op, rhs float64) er
 		op:  op,
 		rhs: rhs,
 	})
+	p.structGen++
 	return nil
+}
+
+// SetConstraintRHS replaces the right-hand side of constraint i. It is a
+// data-only mutation — the skeleton (variable count, operators, index
+// patterns) is untouched — so a reusable Solver can warm-start across it.
+func (p *Problem) SetConstraintRHS(i int, rhs float64) error {
+	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+		return fmt.Errorf("%w: constraint %d has non-finite right-hand side %v", ErrBadConstraint, i, rhs)
+	}
+	p.cons[i].rhs = rhs
+	return nil
+}
+
+// SetConstraintCoeff replaces the coefficient of x_j in constraint i. The
+// variable must already appear in the row's index pattern: the skeleton is
+// immutable, only values move. Setting an existing entry to zero is allowed
+// and keeps the entry in the skeleton, so the slot can be repopulated by a
+// later update without a structural change.
+func (p *Problem) SetConstraintCoeff(i, j int, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("%w: constraint %d has non-finite coefficient %v for x_%d", ErrBadConstraint, i, v, j)
+	}
+	c := &p.cons[i]
+	for k, jj := range c.idx {
+		if jj == j {
+			c.val[k] = v
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: constraint %d has no skeleton entry for x_%d", ErrBadConstraint, i, j)
 }
 
 // validateRow rejects non-finite data and duplicate indices in constraint
@@ -197,6 +236,7 @@ func (p *Problem) AddDenseConstraint(row []float64, op Op, rhs float64) error {
 		return err
 	}
 	p.cons = append(p.cons, constraint{idx: idx, val: val, op: op, rhs: rhs})
+	p.structGen++
 	return nil
 }
 

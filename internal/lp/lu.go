@@ -31,12 +31,38 @@ type luFactor struct {
 	pinv  []int
 }
 
+// luScratch is the reusable workspace of luFactorize: five length-m work
+// vectors that a one-shot factorization would allocate fresh every time. A
+// basisLU owns one, so warm-started solvers refactorize without churning
+// the allocator. The algorithm's own invariants keep x and marked clean
+// between uses (every column loop clears what it touched, including the
+// failure path), so reuse needs no explicit reset.
+type luScratch struct {
+	x      []float64
+	marked []bool
+	topo   []int // reach pattern in topological order, topo[top:]
+	stack  []int // DFS node stack
+	pstack []int // DFS per-node resume positions
+}
+
+// ensure grows the workspace to cover m rows.
+func (ws *luScratch) ensure(m int) {
+	if len(ws.x) < m {
+		ws.x = make([]float64, m)
+		ws.marked = make([]bool, m)
+		ws.topo = make([]int, m)
+		ws.stack = make([]int, m)
+		ws.pstack = make([]int, m)
+	}
+}
+
 // luFactorize computes a left-looking Gilbert-Peierls factorization of the
 // basis matrix whose k-th column is column basis[k] of f. Each column is
 // obtained by a sparse triangular solve against the L computed so far (the
 // nonzero pattern comes from a depth-first reach over L's graph), then the
-// largest remaining entry is chosen as pivot.
-func luFactorize(f *stdForm, basis []int) (*luFactor, error) {
+// largest remaining entry is chosen as pivot. ws supplies the work vectors
+// (nil allocates a private set).
+func luFactorize(f *stdForm, basis []int, ws *luScratch) (*luFactor, error) {
 	m := f.m
 	lu := &luFactor{
 		m:     m,
@@ -48,11 +74,12 @@ func luFactorize(f *stdForm, basis []int) (*luFactor, error) {
 	for i := range lu.pinv {
 		lu.pinv[i] = -1
 	}
-	x := make([]float64, m)
-	marked := make([]bool, m)
-	topo := make([]int, m)   // reach pattern in topological order, topo[top:]
-	stack := make([]int, m)  // DFS node stack
-	pstack := make([]int, m) // DFS per-node resume positions
+	if ws == nil {
+		ws = &luScratch{}
+	}
+	ws.ensure(m)
+	x, marked := ws.x, ws.marked
+	topo, stack, pstack := ws.topo, ws.stack, ws.pstack
 	for k := 0; k < m; k++ {
 		col := basis[k]
 		// Symbolic step: pattern of the solution of L z = A_col.
@@ -233,6 +260,7 @@ type basisLU struct {
 	lu   *luFactor
 	etas []eta
 	tmp  []float64
+	ws   luScratch
 }
 
 // refactorEvery bounds the eta file length; past it the basis is refactored
@@ -241,16 +269,18 @@ type basisLU struct {
 const refactorEvery = 64
 
 func newBasisLU(f *stdForm, basis []int) (*basisLU, error) {
-	lu, err := luFactorize(f, basis)
+	b := &basisLU{tmp: make([]float64, f.m)}
+	lu, err := luFactorize(f, basis, &b.ws)
 	if err != nil {
 		return nil, err
 	}
-	return &basisLU{lu: lu, tmp: make([]float64, f.m)}, nil
+	b.lu = lu
+	return b, nil
 }
 
 // refactor rebuilds the LU from the current basis and drops the eta file.
 func (b *basisLU) refactor(f *stdForm, basis []int) error {
-	lu, err := luFactorize(f, basis)
+	lu, err := luFactorize(f, basis, &b.ws)
 	if err != nil {
 		return err
 	}

@@ -92,7 +92,15 @@ func (r *revised) solve() error {
 			return err
 		}
 	}
-	// Phase 2: the real objective (negated for maximization).
+	// Phase 2: the real objective.
+	r.setPhase2Costs()
+	r.degenerate = 0
+	return r.iterate()
+}
+
+// setPhase2Costs loads the problem's real objective into the working cost
+// vector (negated for maximization; extra columns cost zero).
+func (r *revised) setPhase2Costs() {
 	for j := range r.c {
 		r.c[j] = 0
 	}
@@ -103,8 +111,6 @@ func (r *revised) solve() error {
 	for j := 0; j < r.f.nStruct; j++ {
 		r.c[j] = sign * r.p.obj[j]
 	}
-	r.degenerate = 0
-	return r.iterate()
 }
 
 // iterate runs revised-simplex pivots until optimality for the current cost
@@ -261,13 +267,21 @@ func (r *revised) tieBreak(bland bool, i, cur int) bool {
 	return math.Abs(r.d[i]) > math.Abs(r.d[cur])
 }
 
-// refactor rebuilds the LU from the current basis and recomputes beta from
-// the right-hand side, beta = B^-1 (b - sum over nonbasic-at-upper columns
-// of A_j u_j), shedding drift the incremental updates accumulated.
+// refactor rebuilds the LU from the current basis and recomputes beta,
+// shedding drift the incremental updates accumulated.
 func (r *revised) refactor() error {
 	if err := r.b.refactor(r.f, r.basis); err != nil {
 		return err
 	}
+	r.recomputeBeta()
+	return nil
+}
+
+// recomputeBeta recomputes the basic values from the right-hand side,
+// beta = B^-1 (b - sum over nonbasic-at-upper columns of A_j u_j). It is
+// the second half of refactor, split out so a warm start whose matrix
+// values did not change can refresh beta while keeping the retained LU.
+func (r *revised) recomputeBeta() {
 	for i := 0; i < r.f.m; i++ {
 		r.beta[i] = r.f.rhs[i]
 	}
@@ -279,7 +293,6 @@ func (r *revised) refactor() error {
 		}
 	}
 	r.b.ftran(r.beta)
-	return nil
 }
 
 // extract recovers the structural solution in original (unshifted)

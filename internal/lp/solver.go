@@ -1,0 +1,234 @@
+package lp
+
+import (
+	"context"
+	"errors"
+	"math"
+)
+
+// SolverStats counts what a reusable Solver actually did, so callers (and
+// the differential suite) can verify that warm starts happen instead of
+// silently degrading to cold solves.
+type SolverStats struct {
+	// Solves is the total number of SolveContext calls.
+	Solves int
+	// WarmHits counts solves completed from the retained basis.
+	WarmHits int
+	// ColdSolves counts solves that (re)built all state from scratch,
+	// including the cold halves of abandoned warm attempts.
+	ColdSolves int
+	// Fallbacks counts warm-start attempts abandoned for a cold solve
+	// (structural value outside the frozen sparsity pattern, a basis no
+	// longer primal feasible, numerical failure, or any pivot-loop error).
+	Fallbacks int
+	// DenseFallbacks counts cold solves that fell through to the dense
+	// tableau oracle after a sparse numerical failure.
+	DenseFallbacks int
+}
+
+// errWarmFallback tags an abandoned warm-start attempt; the Solver catches
+// it (and every other warm-path error) and re-solves cold, so it never
+// escapes the package.
+var errWarmFallback = errors.New("lp: warm start abandoned")
+
+// forceWarmNumericFailure, when true, makes the next warm-start attempt
+// treat its basis refactorization as numerically singular (the errNumeric
+// condition), exercising the cold-fallback path on demand. Test-only; the
+// attempt that consumes it resets it.
+var forceWarmNumericFailure bool
+
+// Solver is a reusable handle over the sparse revised simplex. A one-shot
+// Problem.SolveContext rebuilds the standardized form, factorizes the
+// slack/artificial basis, and runs phase 1 before every solve; a Solver
+// instead retains the previous solve's optimal basis, LU/eta factorization,
+// and pricing scratch, and warm-starts the next solve when the problem is
+// structurally unchanged — the workhorse loops (alternating optimization,
+// the hourly online controller, experiment sweeps) solve long sequences of
+// such problems.
+//
+// Warm-start policy: a solve is warm when the new problem has the same
+// skeleton as the retained one (same variable count and, row by row, the
+// same operator and index pattern — objective, bounds, right-hand sides,
+// and coefficient values are free to move). The standardized form is then
+// updated in place; the LU is refactorized only when matrix values actually
+// changed; the retained basis is kept only if it is still primal feasible
+// for the new data. Any failure along the way — pattern mismatch, lost
+// feasibility, numerical trouble, an error from the pivot loop — abandons
+// the attempt and re-solves cold, so a Solver's verdict and objective always
+// match a fresh Problem.SolveContext to within the solver tolerances (the
+// differential suite pins this at 1e-9). Solutions may differ across warm
+// and cold paths only as alternate optima.
+//
+// A Solver is not safe for concurrent use. Never share one across parallel
+// workers (e.g. Monte-Carlo samples): per-sequence handles keep `-workers N`
+// runs bit-for-bit identical (see DESIGN.md §3.8-§3.9).
+//
+// A nil *Solver is valid and solves one-shot, so callers can thread an
+// optional handle without branching.
+type Solver struct {
+	r         *revised
+	prob      *Problem
+	structGen int
+	hasBasis  bool
+	stats     SolverStats
+}
+
+// NewSolver returns an empty handle; its first solve is necessarily cold.
+func NewSolver() *Solver { return &Solver{} }
+
+// Stats returns the cumulative counters. Nil-safe (zero stats).
+func (s *Solver) Stats() SolverStats {
+	if s == nil {
+		return SolverStats{}
+	}
+	return s.stats
+}
+
+// Invalidate drops the retained basis and problem reference, forcing the
+// next solve to run cold. Nil-safe.
+func (s *Solver) Invalidate() {
+	if s == nil {
+		return
+	}
+	s.hasBasis = false
+	s.r = nil
+	s.prob = nil
+}
+
+// Solve is SolveContext without cancellation.
+func (s *Solver) Solve(p *Problem) (*Solution, error) {
+	return s.SolveContext(nil, p)
+}
+
+// SolveContext solves p, warm-starting from the retained basis when the
+// problem is structurally unchanged since the previous successful solve
+// (see the type comment for the policy). A nil receiver solves one-shot,
+// identical to p.SolveContext.
+func (s *Solver) SolveContext(ctx context.Context, p *Problem) (*Solution, error) {
+	if s == nil {
+		return p.SolveContext(ctx)
+	}
+	s.stats.Solves++
+	if s.hasBasis && s.matches(p) {
+		sol, err := s.warmSolve(ctx, p)
+		if err == nil {
+			s.stats.WarmHits++
+			s.prob = p
+			s.structGen = p.structGen
+			return sol, nil
+		}
+		// Every warm-path failure — structural slot mismatch, numerics,
+		// lost feasibility, or a pivot-loop error (including context
+		// cancellation, whose partial pivots invalidated the state) —
+		// falls back to an authoritative cold solve.
+		s.stats.Fallbacks++
+	}
+	return s.coldSolve(ctx, p)
+}
+
+// matches reports whether p has the same structural skeleton as the problem
+// behind the retained basis. The retained reference is trusted only while
+// its own structGen is unchanged (its owner may have added constraints
+// since); p then matches either by identity or by a row-by-row comparison
+// of operators and index patterns (values, bounds, objective, and
+// right-hand sides are data and free to differ).
+func (s *Solver) matches(p *Problem) bool {
+	old := s.prob
+	if old == nil || old.structGen != s.structGen {
+		return false
+	}
+	if old == p {
+		return true
+	}
+	if old.nvars != p.nvars || len(old.cons) != len(p.cons) {
+		return false
+	}
+	for i := range p.cons {
+		a, b := &old.cons[i], &p.cons[i]
+		if a.op != b.op || len(a.idx) != len(b.idx) {
+			return false
+		}
+		for k := range a.idx {
+			if a.idx[k] != b.idx[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// warmSolve attempts to re-solve p from the retained optimal basis. Any
+// returned error means the caller must fall back to a cold solve; the
+// retained state may then be arbitrarily clobbered, which is fine because
+// coldSolve rebuilds it from scratch.
+func (s *Solver) warmSolve(ctx context.Context, p *Problem) (*Solution, error) {
+	r := s.r
+	ok, changed := r.f.updateFrom(p)
+	if !ok {
+		return nil, errWarmFallback
+	}
+	r.p = p
+	r.ctx = ctx
+	if changed || forceWarmNumericFailure {
+		ferr := r.b.refactor(r.f, r.basis)
+		if forceWarmNumericFailure {
+			forceWarmNumericFailure = false
+			ferr = errNumeric
+		}
+		if ferr != nil {
+			return nil, ferr
+		}
+	}
+	// A bound change can strand a nonbasic variable at an upper bound that
+	// no longer exists (grew to +Inf) or collapsed onto the lower bound;
+	// those rest at their lower bound instead.
+	for j := 0; j < r.f.nStruct; j++ {
+		if r.atUp[j] && r.inRow[j] < 0 && (math.IsInf(r.f.ub[j], 1) || r.f.ub[j] == 0) {
+			r.atUp[j] = false
+		}
+	}
+	r.recomputeBeta()
+	// The retained basis survives only if it is still primal feasible for
+	// the new right-hand sides and bounds; otherwise restoring feasibility
+	// would need phase 1 anyway, which is what the cold path does.
+	for i := 0; i < r.f.m; i++ {
+		v := r.beta[i]
+		u := r.f.ub[r.basis[i]]
+		if math.IsNaN(v) || v < -feasTol || v > u+feasTol {
+			return nil, errWarmFallback
+		}
+	}
+	r.setPhase2Costs()
+	r.pivots = 0
+	r.degenerate = 0
+	if err := r.iterate(); err != nil {
+		return nil, err
+	}
+	x := r.extract()
+	return &Solution{X: x, Objective: p.Value(x), Pivots: r.pivots}, nil
+}
+
+// coldSolve mirrors Problem.SolveContext (same pivot sequence, same dense
+// fallback, bit-identical results) and retains the working state for the
+// next warm start on success.
+func (s *Solver) coldSolve(ctx context.Context, p *Problem) (*Solution, error) {
+	s.stats.ColdSolves++
+	s.hasBasis = false
+	s.r = nil
+	s.prob = nil
+	r := newRevised(p)
+	r.ctx = ctx
+	if err := r.solve(); err != nil {
+		if errors.Is(err, errNumeric) {
+			s.stats.DenseFallbacks++
+			return p.SolveDense(ctx)
+		}
+		return nil, err
+	}
+	s.r = r
+	s.prob = p
+	s.structGen = p.structGen
+	s.hasBasis = true
+	x := r.extract()
+	return &Solution{X: x, Objective: p.Value(x), Pivots: r.pivots}, nil
+}

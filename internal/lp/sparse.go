@@ -23,6 +23,15 @@ type stdForm struct {
 	ub     []float64 // shifted upper bounds, len n (artificials +Inf)
 	rhs    []float64 // normalized right-hand sides, len m (all >= 0)
 	basis0 []int     // initial basic column per row (slack or artificial)
+
+	// neg records, per row, whether construction negated the row to make
+	// the shifted right-hand side nonnegative. updateFrom keeps these flags
+	// frozen so a data-only update preserves the column layout (see there).
+	neg []bool
+
+	// next is updateFrom's per-column write-cursor scratch, kept here so
+	// repeated warm updates do not reallocate it.
+	next []int
 }
 
 // colNNZ returns the nonzero count of column j.
@@ -78,6 +87,10 @@ func newStdForm(p *Problem) *stdForm {
 		ub:      make([]float64, n),
 		rhs:     make([]float64, m),
 		basis0:  make([]int, m),
+		neg:     make([]bool, m),
+	}
+	for i, r := range rows {
+		f.neg[i] = r.neg
 	}
 	for j := 0; j < nStruct; j++ {
 		f.ub[j] = p.upper[j] - p.lower[j]
@@ -156,6 +169,62 @@ func newStdForm(p *Problem) *stdForm {
 		}
 	}
 	return f
+}
+
+// updateFrom rewrites the numeric payload of f — structural coefficient
+// values, right-hand sides, and structural upper bounds — from p, which must
+// be structurally identical to the problem f was built from: the same
+// variable count and, row by row, the same operator and index pattern (the
+// caller checks this; see Solver.matches). The row sign normalization (neg)
+// and the column layout are frozen from construction time, so updated
+// right-hand sides may come out negative — only a cold rebuild renormalizes
+// them, and the warm path's primal-feasibility check decides whether the
+// retained basis survives.
+//
+// ok is false when the new data does not fit the frozen sparsity pattern: a
+// coefficient that was exactly zero at construction (and therefore has no
+// CSC slot) became nonzero. The caller must then rebuild cold; f may be
+// left partially updated, which is fine because the cold path builds a
+// fresh stdForm. changed reports whether any matrix value moved, which is
+// what decides whether the caller must refactorize the basis.
+func (f *stdForm) updateFrom(p *Problem) (ok, changed bool) {
+	for j := 0; j < f.nStruct; j++ {
+		f.ub[j] = p.upper[j] - p.lower[j]
+	}
+	if f.next == nil {
+		f.next = make([]int, f.nStruct)
+	}
+	next := f.next
+	for j := range next {
+		next[j] = f.colPtr[j]
+	}
+	for i := range p.cons {
+		c := &p.cons[i]
+		sign := 1.0
+		if f.neg[i] {
+			sign = -1.0
+		}
+		rhs := c.rhs
+		for k, j := range c.idx {
+			rhs -= c.val[k] * p.lower[j]
+			v := sign * c.val[k]
+			slot := next[j]
+			if slot < f.colPtr[j+1] && f.rowInd[slot] == i {
+				//jcrlint:allow float-eq: exact-change detection decides refactorization, not a tolerance check
+				if f.values[slot] != v {
+					f.values[slot] = v
+					changed = true
+				}
+				next[j] = slot + 1
+			} else if c.val[k] != 0 {
+				// No slot: this entry was exactly zero when the CSC
+				// pattern was built, so the skeleton cannot hold it.
+				return false, changed
+			}
+		}
+		f.rhs[i] = sign * rhs
+	}
+	return true, changed
 }
 
 // scatterCol adds column j of the matrix into the dense vector x.

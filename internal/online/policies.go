@@ -27,8 +27,19 @@ type AlternatingPolicy struct {
 	BestEffort bool
 	// Rng drives the routing's randomized rounding.
 	Rng *rand.Rand
+	// NoSolverReuse disables carrying solver state (warm-started LPs,
+	// routing caches) hour to hour. The zero value reuses: consecutive
+	// hours solve structurally repeating subproblems, so each Decide
+	// warm-starts from the last successful hour's bases. Reuse never
+	// changes solution quality — every cache re-validates and falls back
+	// cold on mismatch, and warm solves may differ from cold ones only
+	// between equal-cost optima — and a timed-out or failed hour simply
+	// leaves no retained basis (the next hour starts cold), so it composes
+	// with DecideTimeout and the degradation ladder.
+	NoSolverReuse bool
 
-	prev *placement.Placement
+	prev  *placement.Placement
+	state *core.SolveState
 }
 
 // Name implements Policy.
@@ -47,6 +58,12 @@ func (p *AlternatingPolicy) Name() string {
 func (p *AlternatingPolicy) Decide(ctx context.Context, spec *placement.Spec, dist [][]float64) (*Decision, error) {
 	opts := core.AlternatingOptions{Fractional: p.Fractional, Rng: p.Rng}
 	opts.Routing.BestEffort = p.BestEffort
+	if !p.NoSolverReuse {
+		if p.state == nil {
+			p.state = core.NewSolveState()
+		}
+		opts.State = p.state
+	}
 	if p.WarmStart && p.prev != nil {
 		init := p.prev
 		if spec.CheckFeasible(init) != nil {

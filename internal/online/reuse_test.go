@@ -1,0 +1,99 @@
+package online
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// samePlacement reports exact equality of two placements' stores.
+func samePlacement(a, b [][]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v := range a {
+		if len(a[v]) != len(b[v]) {
+			return false
+		}
+		for i := range a[v] {
+			if a[v][i] != b[v][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestSolverReuseMatchesNoReuse runs the same workload through the
+// alternating policy with hour-to-hour solver reuse (the default) and with
+// reuse disabled: every hour's decision must coincide — the retained bases
+// and caches may only change how fast the answer arrives.
+func TestSolverReuseMatchesNoReuse(t *testing.T) {
+	hours := buildHours(t)
+	reused, err := Simulate(&AlternatingPolicy{WarmStart: true, Rng: rand.New(rand.NewSource(3))}, hours)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Simulate(&AlternatingPolicy{WarmStart: true, NoSolverReuse: true, Rng: rand.New(rand.NewSource(3))}, hours)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reused.Hours) != len(cold.Hours) {
+		t.Fatalf("hour counts: %d with reuse, %d without", len(reused.Hours), len(cold.Hours))
+	}
+	for h := range reused.Hours {
+		a, b := reused.Hours[h], cold.Hours[h]
+		//jcrlint:allow float-eq: bit-for-bit determinism contract between reuse on/off
+		if a.Cost != b.Cost || a.Congestion != b.Congestion || a.Churn != b.Churn {
+			t.Errorf("hour %d diverges: reuse (cost %v cong %v churn %d) vs cold (cost %v cong %v churn %d)",
+				h, a.Cost, a.Congestion, a.Churn, b.Cost, b.Congestion, b.Churn)
+		}
+	}
+}
+
+// TestSolverReuseSurvivesFailedHour interleaves a canceled Decide between
+// two good hours: the failed hour must error out without poisoning the
+// retained solver state, so the following hour still matches a policy that
+// never saw the failure.
+func TestSolverReuseSurvivesFailedHour(t *testing.T) {
+	hours := buildHours(t)
+	pol := &AlternatingPolicy{WarmStart: true, Rng: rand.New(rand.NewSource(4))}
+	ref := &AlternatingPolicy{WarmStart: true, NoSolverReuse: true, Rng: rand.New(rand.NewSource(4))}
+
+	d0, err := pol.Decide(context.Background(), hours[0].Decision, hours[0].Dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, err := ref.Decide(context.Background(), hours[0].Decision, hours[0].Dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !samePlacement(d0.Placement.Stores, r0.Placement.Stores) {
+		t.Fatal("hour 0 placements diverge before any failure")
+	}
+
+	// Hour 1 times out immediately (the DecideTimeout path hands the policy
+	// a context that is already done mid-flight).
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := pol.Decide(cctx, hours[1].Decision, hours[1].Dist); err == nil {
+		t.Fatal("canceled Decide succeeded")
+	}
+
+	// Hour 2 must recover and agree with the reference policy, whose only
+	// history is the two successful hours.
+	d2, err := pol.Decide(context.Background(), hours[2].Decision, hours[2].Dist)
+	if err != nil {
+		t.Fatalf("hour after failure: %v", err)
+	}
+	r2, err := ref.Decide(context.Background(), hours[2].Decision, hours[2].Dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !samePlacement(d2.Placement.Stores, r2.Placement.Stores) {
+		t.Error("post-failure placement diverges from the never-failed reference")
+	}
+	if err := validateDecision(hours[2].Decision, d2); err != nil {
+		t.Errorf("post-failure decision invalid: %v", err)
+	}
+}

@@ -102,6 +102,13 @@ type PerPathOptions struct {
 	// GOMAXPROCS. The result is independent of the worker count: savings
 	// are merged in path order (see internal/par).
 	Workers int
+	// Solver, when non-nil, is the reusable warm-start handle for the
+	// Eq. (15) LP: across alternating rounds and online hours the serving
+	// paths often repeat, so the LP skeleton repeats and the previous
+	// optimal basis carries over (see internal/lp's Solver). Nil solves
+	// one-shot. The handle is stateful and must not be shared across
+	// parallel workers.
+	Solver *lp.Solver
 }
 
 // PlacePerPath solves the content-placement subproblem of Section 4.3.1:
@@ -153,7 +160,7 @@ func PlacePerPathOpts(ctx context.Context, s *Spec, paths []ServingPath, opts Pe
 		useLP = false // pipage cannot swap heterogeneous sizes (Section 5.2.2)
 	}
 	if useLP {
-		return placePerPathLP(ctx, s, paths, opts.Workers)
+		return placePerPathLP(ctx, s, paths, opts.Workers, opts.Solver)
 	}
 	return placePerPathGreedy(ctx, s, paths)
 }
@@ -303,7 +310,8 @@ func enumerateSavings(ctx context.Context, s *Spec, paths []ServingPath, nodeIdx
 }
 
 // placePerPathLP solves the LP form of (15) and pipage-rounds the result.
-func placePerPathLP(ctx context.Context, s *Spec, paths []ServingPath, workers int) (*Placement, error) {
+// solver, when non-nil, warm-starts the LP from the previous round's basis.
+func placePerPathLP(ctx context.Context, s *Spec, paths []ServingPath, workers int, solver *lp.Solver) (*Placement, error) {
 	g := s.G
 	var nodes []graph.NodeID
 	nodeIdx := make([]int, g.NumNodes())
@@ -325,7 +333,7 @@ func placePerPathLP(ctx context.Context, s *Spec, paths []ServingPath, workers i
 	if err != nil {
 		return nil, fmt.Errorf("placement: per-path enumeration: %w", err)
 	}
-	prob := lp.NewProblem(nx + len(zs))
+	prob := lputil.NewProblem(nx + len(zs))
 	prob.SetSense(lp.Maximize)
 	for j := 0; j < nx; j++ {
 		prob.SetBounds(j, 0, 1)
@@ -351,7 +359,7 @@ func placePerPathLP(ctx context.Context, s *Spec, paths []ServingPath, workers i
 			return nil, fmt.Errorf("placement: per-path LP: %w", err)
 		}
 	}
-	sol, err := lputil.Solve(ctx, "placement: per-path LP", prob)
+	sol, err := lputil.SolveWith(ctx, solver, "placement: per-path LP", prob)
 	if err != nil {
 		return nil, err
 	}

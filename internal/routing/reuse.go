@@ -1,0 +1,218 @@
+package routing
+
+import (
+	"jcr/internal/graph"
+	"jcr/internal/lp"
+	"jcr/internal/placement"
+)
+
+// Reuse carries routing state worth keeping across RouteContext calls on the
+// same instance — the alternating loop re-routes after every placement round,
+// and the online controller re-routes every hour. Three layers cache:
+//
+//   - per-item demand sets (which nodes want each item, at what rate),
+//     keyed by the Spec pointer: rebuilding the maps is pure overhead while
+//     the demand matrix is fixed;
+//   - the Lemma 4.5 auxiliary graph, keyed by the base graph's pointer and
+//     mutation generation (graph.Graph.Gen) plus the replica groups: once
+//     the alternating placement stabilizes, the groups repeat and the
+//     virtual-source construction is identical;
+//   - the multicommodity LP skeleton and its warm-start lp.Solver handle:
+//     on a repeated auxiliary graph only the conservation right-hand sides
+//     move, so the problem is mutated in place and the previous optimal
+//     basis carries over.
+//
+// Every cache validates its key on each call and rebuilds on mismatch, so a
+// Reuse handle never changes results — only how much work they take. The
+// demand cache trusts the Spec pointer: callers that mutate s.Rates in place
+// between calls must use a fresh Spec (the library's own loops build one per
+// hour) or drop the handle.
+//
+// A Reuse is not safe for concurrent use; never share one across parallel
+// workers (per-sequence handles keep `-workers N` runs bit-for-bit
+// identical, see DESIGN.md §3.9). A nil *Reuse is valid and disables all
+// caching, so call sites thread an optional handle without branching.
+type Reuse struct {
+	demSpec *placement.Spec
+	demand  []itemDemand
+
+	auxBase   *graph.Graph
+	auxGen    uint64
+	auxGroups [][]graph.NodeID
+	aux       *graph.Auxiliary
+
+	mcSolver *lp.Solver
+	mcProb   *lp.Problem
+	mcAux    *graph.Auxiliary
+	mcGen    uint64
+	// mcRow[k][v] is the conservation row of (item k, node v), -1 when the
+	// node has no incident arcs (no row emitted).
+	mcRow [][]int
+}
+
+// NewReuse returns an empty handle; every first use builds from scratch.
+func NewReuse() *Reuse {
+	return &Reuse{mcSolver: lp.NewSolver()}
+}
+
+// Invalidate drops every cache (and the retained LP basis), forcing the next
+// RouteContext call to rebuild from scratch. Nil-safe.
+func (r *Reuse) Invalidate() {
+	if r == nil {
+		return
+	}
+	r.demSpec = nil
+	r.demand = nil
+	r.auxBase = nil
+	r.auxGroups = nil
+	r.aux = nil
+	r.mcProb = nil
+	r.mcAux = nil
+	r.mcRow = nil
+	r.mcSolver.Invalidate()
+}
+
+// LPStats exposes the multicommodity solver's warm/cold counters (zero when
+// the LP path never ran). Nil-safe.
+func (r *Reuse) LPStats() lp.SolverStats {
+	if r == nil {
+		return lp.SolverStats{}
+	}
+	return r.mcSolver.Stats()
+}
+
+// solver returns the warm-start handle, nil when caching is off.
+func (r *Reuse) solver() *lp.Solver {
+	if r == nil {
+		return nil
+	}
+	if r.mcSolver == nil {
+		r.mcSolver = lp.NewSolver()
+	}
+	return r.mcSolver
+}
+
+// baseDemand returns the per-item demand sets of s (every item with positive
+// total rate, its sink map and total), cached on the Spec pointer. The
+// returned maps are shared with the cache: callers that delete entries
+// (best-effort filtering) must clone first.
+func (r *Reuse) baseDemand(s *placement.Spec) []itemDemand {
+	if r != nil && r.demSpec == s {
+		return r.demand
+	}
+	var out []itemDemand
+	for i := 0; i < s.NumItems; i++ {
+		sinks := map[graph.NodeID]float64{}
+		var total float64
+		for v, rate := range s.Rates[i] {
+			if rate > 0 {
+				sinks[v] += rate
+				total += rate
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		out = append(out, itemDemand{item: i, sinks: sinks, total: total})
+	}
+	if r != nil {
+		r.demSpec = s
+		r.demand = out
+	}
+	return out
+}
+
+// auxiliary returns the Lemma 4.5 auxiliary graph for (g, groups), reusing
+// the cached construction when the base graph (by pointer and mutation
+// generation) and the replica groups are unchanged — fault injection that
+// flips capacities in place moves g.Gen() and misses the cache.
+func (r *Reuse) auxiliary(g *graph.Graph, groups [][]graph.NodeID) *graph.Auxiliary {
+	if r != nil && r.auxBase == g && r.auxGen == g.Gen() && groupsEqual(r.auxGroups, groups) {
+		return r.aux
+	}
+	aux := graph.NewAuxiliary(g, groups)
+	if r != nil {
+		r.auxBase = g
+		r.auxGen = g.Gen()
+		r.auxGroups = groups
+		r.aux = aux
+	}
+	return aux
+}
+
+// groupsEqual reports element-wise equality of two replica group lists.
+func groupsEqual(a, b [][]graph.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// cloneSinks deep-copies a demand map.
+func cloneSinks(sinks map[graph.NodeID]float64) map[graph.NodeID]float64 {
+	out := make(map[graph.NodeID]float64, len(sinks))
+	for v, d := range sinks {
+		out[v] = d
+	}
+	return out
+}
+
+// mcMutate updates the cached multicommodity skeleton's conservation
+// right-hand sides for the new demands and reports whether the cache was
+// applicable: the auxiliary graph must be the cached one (same pointer, same
+// generation — capacities and costs are baked into the skeleton) and every
+// nonzero supply must land on an existing row. On any mismatch the caller
+// rebuilds from scratch.
+func (r *Reuse) mcMutate(aux *graph.Auxiliary, active []itemDemand) (*lp.Problem, bool) {
+	if r == nil || r.mcProb == nil || r.mcAux != aux || r.mcGen != aux.G.Gen() || len(r.mcRow) != len(active) {
+		return nil, false
+	}
+	p := r.mcProb
+	for k, ad := range active {
+		vs := aux.VirtualSource[k]
+		rows := r.mcRow[k]
+		for v := 0; v < aux.G.NumNodes(); v++ {
+			supply := 0.0
+			if v == vs {
+				supply = ad.total
+			} else if d, isSink := ad.sinks[v]; isSink {
+				supply = -d
+			}
+			ri := rows[v]
+			if ri < 0 {
+				if supply != 0 {
+					// Demand on an incidence-free node: the skeleton has no
+					// row to carry it, so the cold build's error path must
+					// run instead.
+					return nil, false
+				}
+				continue
+			}
+			if err := p.SetConstraintRHS(ri, supply); err != nil {
+				return nil, false
+			}
+		}
+	}
+	return p, true
+}
+
+// mcStore records a freshly built skeleton for the next mcMutate.
+func (r *Reuse) mcStore(aux *graph.Auxiliary, p *lp.Problem, rows [][]int) {
+	if r == nil {
+		return
+	}
+	r.mcProb = p
+	r.mcAux = aux
+	r.mcGen = aux.G.Gen()
+	r.mcRow = rows
+}

@@ -87,6 +87,11 @@ type Options struct {
 	// means GOMAXPROCS. Results are merged in item order, so the output
 	// is identical for any worker count (see internal/par).
 	Workers int
+	// Reuse, when non-nil, carries caches across RouteContext calls with
+	// the same spec and graph: per-item demand sets, the Lemma 4.5
+	// auxiliary graph, and the multicommodity LP skeleton with its
+	// warm-start solver handle (see Reuse). Nil solves from scratch.
+	Reuse *Reuse
 }
 
 const defaultLPMaxVars = 6000
@@ -143,22 +148,15 @@ func RouteContext(ctx context.Context, s *placement.Spec, pl *placement.Placemen
 	if opts.RoundingTrials <= 0 {
 		opts.RoundingTrials = 5
 	}
-	// Active items and their replica sets.
+	// Active items and their replica sets. The per-item demand sets come
+	// from the Reuse cache when one is threaded (nil-safe: computed fresh
+	// otherwise); replica filtering always runs per call because the
+	// placement changes between rounds.
 	var active []itemDemand
 	var groups [][]graph.NodeID
 	unserved := map[placement.Request]float64{}
-	for i := 0; i < s.NumItems; i++ {
-		sinks := map[graph.NodeID]float64{}
-		var total float64
-		for v, r := range s.Rates[i] {
-			if r > 0 {
-				sinks[v] += r
-				total += r
-			}
-		}
-		if total == 0 {
-			continue
-		}
+	for _, bd := range opts.Reuse.baseDemand(s) {
+		i, sinks, total := bd.item, bd.sinks, bd.total
 		reps := pl.Replicas(i)
 		if len(reps) == 0 {
 			if opts.BestEffort {
@@ -172,7 +170,9 @@ func RouteContext(ctx context.Context, s *placement.Spec, pl *placement.Placemen
 		if opts.BestEffort {
 			// Drop demand no replica can reach (links down, network
 			// partitioned); the flow solvers would otherwise fail the
-			// whole solve over it.
+			// whole solve over it. The sink map is shared with the demand
+			// cache, so filter a copy.
+			sinks = cloneSinks(sinks)
 			reach := reachableFrom(s.G, reps)
 			// Sorted order keeps the floating-point subtraction sequence
 			// (and hence total's last bits) independent of map iteration.
@@ -194,7 +194,7 @@ func RouteContext(ctx context.Context, s *placement.Spec, pl *placement.Placemen
 	if len(unserved) == 0 {
 		unserved = nil
 	}
-	aux := graph.NewAuxiliary(s.G, groups)
+	aux := opts.Reuse.auxiliary(s.G, groups)
 
 	// Splittable per-item arc flows on the auxiliary graph.
 	flows, method, err := splittableFlows(ctx, aux, active, opts)
@@ -330,7 +330,7 @@ func SolveMMSFPExact(s *placement.Spec, pl *placement.Placement) (float64, error
 		return 0, nil
 	}
 	aux := graph.NewAuxiliary(s.G, groups)
-	flows, err := multicommodityLP(nil, aux, active)
+	flows, err := multicommodityLP(nil, aux, active, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -416,7 +416,7 @@ func splittableFlows(ctx context.Context, aux *graph.Auxiliary, active []itemDem
 	}
 	// 2. Exact multicommodity LP when small enough.
 	if len(active)*g.NumArcs() <= opts.LPMaxVars {
-		lpFlows, err := multicommodityLP(ctx, aux, active)
+		lpFlows, err := multicommodityLP(ctx, aux, active, opts.Reuse)
 		if err == nil {
 			return lpFlows, MethodLP, nil
 		}
@@ -508,24 +508,57 @@ func itemMinCostFlow(ctx context.Context, aux *graph.Auxiliary, k int, sinks map
 }
 
 // multicommodityLP solves the coupled MMSFP exactly: one flow variable per
-// (item, arc), per-item conservation, shared capacity on real arcs.
-func multicommodityLP(ctx context.Context, aux *graph.Auxiliary, active []itemDemand) ([][]float64, error) {
+// (item, arc), per-item conservation, shared capacity on real arcs. With a
+// Reuse handle, a structurally repeated instance (same auxiliary graph, same
+// active item count) mutates the cached skeleton's conservation right-hand
+// sides in place and warm-starts from the previous optimal basis; otherwise
+// the skeleton is rebuilt and retained for the next call.
+func multicommodityLP(ctx context.Context, aux *graph.Auxiliary, active []itemDemand, reuse *Reuse) ([][]float64, error) {
 	g := aux.G
 	m := g.NumArcs()
 	nc := len(active)
-	p := lp.NewProblem(nc * m)
+	p, cached := reuse.mcMutate(aux, active)
+	if !cached {
+		var rows [][]int
+		var err error
+		p, rows, err = buildMulticommodityLP(aux, active)
+		if err != nil {
+			return nil, err
+		}
+		reuse.mcStore(aux, p, rows)
+	}
+	sol, err := lputil.SolveWith(ctx, reuse.solver(), "routing: multicommodity LP", p)
+	if err != nil {
+		return nil, err
+	}
+	return lputil.ExtractGrid(sol.X, 0, nc, m, lputil.Floor(flowEps)), nil
+}
+
+// buildMulticommodityLP constructs the MMSFP skeleton from scratch and
+// returns, alongside the problem, the conservation-row layout (rows[k][v] is
+// the row of item k's conservation at node v, -1 when the node has no
+// incident arcs) that Reuse.mcMutate needs for in-place RHS mutation.
+func buildMulticommodityLP(aux *graph.Auxiliary, active []itemDemand) (*lp.Problem, [][]int, error) {
+	g := aux.G
+	m := g.NumArcs()
+	nc := len(active)
+	p := lputil.NewProblem(nc * m)
 	fIdx := func(k, e int) int { return k*m + e }
 	for k := range active {
 		for e := 0; e < m; e++ {
 			p.SetObjectiveCoeff(fIdx(k, e), g.Arc(e).Cost)
 		}
 	}
+	rows := make([][]int, nc)
 	// Conservation per item and node. Self-loop arcs appear in both Out
 	// and In, which the row builder coalesces to a zero coefficient.
 	row := lp.NewRowBuilder(p)
+	nrows := 0
 	for k, ad := range active {
 		vs := aux.VirtualSource[k]
+		rows[k] = make([]int, g.NumNodes())
 		for v := 0; v < g.NumNodes(); v++ {
+			rows[k][v] = -1
 			for _, e := range g.Out(v) {
 				row.Add(fIdx(k, e), 1)
 			}
@@ -540,7 +573,7 @@ func multicommodityLP(ctx context.Context, aux *graph.Auxiliary, active []itemDe
 			}
 			if row.Len() == 0 {
 				if supply != 0 {
-					return nil, fmt.Errorf("routing: node %d has demand but no incident arcs", v)
+					return nil, nil, fmt.Errorf("routing: node %d has demand but no incident arcs", v)
 				}
 				continue
 			}
@@ -548,8 +581,10 @@ func multicommodityLP(ctx context.Context, aux *graph.Auxiliary, active []itemDe
 			// k's flow: their virtual arcs stay unused because no
 			// flow can enter them (in-degree 0 for vs).
 			if err := row.Constrain(lp.EQ, supply); err != nil {
-				return nil, fmt.Errorf("routing: multicommodity LP: %w", err)
+				return nil, nil, fmt.Errorf("routing: multicommodity LP: %w", err)
 			}
+			rows[k][v] = nrows
+			nrows++
 		}
 	}
 	// Shared capacities on real arcs.
@@ -562,12 +597,8 @@ func multicommodityLP(ctx context.Context, aux *graph.Auxiliary, active []itemDe
 			row.Add(fIdx(k, e), 1)
 		}
 		if err := row.Constrain(lp.LE, c); err != nil {
-			return nil, fmt.Errorf("routing: multicommodity LP: %w", err)
+			return nil, nil, fmt.Errorf("routing: multicommodity LP: %w", err)
 		}
 	}
-	sol, err := lputil.Solve(ctx, "routing: multicommodity LP", p)
-	if err != nil {
-		return nil, err
-	}
-	return lputil.ExtractGrid(sol.X, 0, nc, m, lputil.Floor(flowEps)), nil
+	return p, rows, nil
 }

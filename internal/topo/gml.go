@@ -193,5 +193,6 @@ func ParseGML(r io.Reader, name string, numEdgeNodes int) (*Network, error) {
 		}
 		net.Edges = append(net.Edges, v)
 	}
+	net.IndexRoles()
 	return net, nil
 }

@@ -31,11 +31,36 @@ type Network struct {
 	// Edges are the edge nodes: low-degree nodes that receive user
 	// requests and host caches.
 	Edges []graph.NodeID
+
+	// notInternal is the role lookup built by IndexRoles: true for the
+	// origin and every edge node. Nil (a literal-constructed Network)
+	// falls back to scanning Edges.
+	notInternal []bool
+}
+
+// IndexRoles precomputes the node-role lookup behind Internal, turning it
+// from an O(|Edges|) scan into an array read. The package's constructors
+// call it; callers that re-designate Origin or Edges afterwards must call
+// it again (or leave the lookup unbuilt for the scanning fallback).
+func (n *Network) IndexRoles() {
+	ni := make([]bool, n.G.NumNodes())
+	if n.Origin >= 0 && n.Origin < len(ni) {
+		ni[n.Origin] = true
+	}
+	for _, e := range n.Edges {
+		if e >= 0 && e < len(ni) {
+			ni[e] = true
+		}
+	}
+	n.notInternal = ni
 }
 
 // Internal reports whether v is an internal router (neither origin nor
 // edge node).
 func (n *Network) Internal(v graph.NodeID) bool {
+	if v >= 0 && v < len(n.notInternal) {
+		return !n.notInternal[v]
+	}
 	if v == n.Origin {
 		return false
 	}
@@ -161,6 +186,7 @@ func Generate(name string, nodes, links, numEdgeNodes int, seed int64) (*Network
 	if len(net.Edges) < numEdgeNodes {
 		return nil, fmt.Errorf("topo: only %d candidate edge nodes, want %d", len(net.Edges), numEdgeNodes)
 	}
+	net.IndexRoles()
 	return net, nil
 }
 
@@ -394,5 +420,6 @@ func ParseEdgeList(r io.Reader, name string, numEdgeNodes int) (*Network, error)
 		}
 		net.Edges = append(net.Edges, v)
 	}
+	net.IndexRoles()
 	return net, nil
 }

@@ -225,3 +225,33 @@ func TestInternal(t *testing.T) {
 		t.Errorf("internal count = %d, want %d", count, n.G.NumNodes()-1-len(n.Edges))
 	}
 }
+
+// TestInternalLiteralAndIndexedAgree pins the two Internal paths to each
+// other: a literal-constructed Network (no role index) must answer exactly
+// like the same network after IndexRoles, and re-indexing after a role
+// change must track the new designation.
+func TestInternalLiteralAndIndexedAgree(t *testing.T) {
+	gen := Abovenet(9)
+	lit := &Network{Name: gen.Name, G: gen.G, Origin: gen.Origin, Edges: gen.Edges}
+	for v := 0; v < gen.G.NumNodes(); v++ {
+		if lit.Internal(v) != gen.Internal(v) {
+			t.Errorf("node %d: literal says %v, indexed says %v", v, lit.Internal(v), gen.Internal(v))
+		}
+	}
+	// Re-designate: promote an internal node to edge node and re-index.
+	var promoted graph.NodeID = -1
+	for v := 0; v < gen.G.NumNodes(); v++ {
+		if gen.Internal(v) {
+			promoted = v
+			break
+		}
+	}
+	if promoted < 0 {
+		t.Fatal("no internal node to promote")
+	}
+	gen.Edges = append(gen.Edges, promoted)
+	gen.IndexRoles()
+	if gen.Internal(promoted) {
+		t.Errorf("node %d still internal after promotion and re-index", promoted)
+	}
+}

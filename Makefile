@@ -31,16 +31,16 @@ bench:
 # dense, warm-vs-cold solver resolves, MMSFP wall time, experiment-harness
 # times) for tracking the perf trajectory across PRs.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_pr4.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr5.json
 
-# Perf gate: fail if the current tree regressed the LP micro-benchmarks by
-# more than 15% against the committed previous-PR baseline (CI runs this,
-# skippable with the `skip-bench` PR label).
+# Perf gate: fail if the current tree regressed the LP or shortest-path
+# micro-benchmarks by more than 15% against the committed previous-PR
+# baseline (CI runs this, skippable with the `skip-bench` PR label).
 bench-compare:
-	$(GO) run ./cmd/benchjson -only lp_sparse_solve -repeat 3 -out /tmp/bench_head.json
+	$(GO) run ./cmd/benchjson -only lp_sparse_solve,dijkstra_tree,yen_k25,online_fault_reroute -repeat 3 -out /tmp/bench_head.json
 	$(GO) run ./cmd/benchjson -compare \
-		-names lp_sparse_solve_placement,lp_sparse_solve_mmsfp_sized \
-		BENCH_pr3.json /tmp/bench_head.json
+		-names lp_sparse_solve_placement,lp_sparse_solve_mmsfp_sized,dijkstra_tree,yen_k25,online_fault_reroute \
+		BENCH_pr5.json /tmp/bench_head.json
 
 # Full suite under the race detector (also a CI job).
 race:

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	benchjson [-out BENCH_pr4.json] [-mc 1] [-only lp_solver,alternating]
+//	benchjson [-out BENCH_pr5.json] [-mc 1] [-only lp_solver,alternating]
 //	benchjson -compare [-names lp_sparse_solve_placement,...] old.json new.json
 //
 // Compare mode reads two reports and exits non-zero when any compared
@@ -60,7 +60,7 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr4.json", "output file ('-' = stdout)")
+	out := flag.String("out", "BENCH_pr5.json", "output file ('-' = stdout)")
 	mc := flag.Int("mc", 1, "Monte-Carlo runs for the experiment-harness timings")
 	repeat := flag.Int("repeat", 1, "repetitions per micro-benchmark; the minimum ns/op is reported (damps machine noise for compare mode)")
 	compare := flag.Bool("compare", false, "compare two report files (old new) and exit non-zero on regression")
@@ -206,6 +206,59 @@ func main() {
 			}
 		})
 		rep.Benchmarks = append(rep.Benchmarks, toResult("msufp_alg2_k1000", res))
+	}
+
+	// Shortest-path engine benchmarks (PR-5): the canonical CSR kernel and
+	// the CSR-based Yen against the preserved pre-engine reference
+	// implementations, and the fault-scenario online reroute with and
+	// without cross-hour tree reuse. Each before/after pair lives in one
+	// report so the speedup is read off a single file.
+	for _, b := range []struct {
+		name string
+		run  func()
+	}{
+		{"dijkstra_tree", func() { graph.TreeOf(spTreeGraph, dijkstraSrc) }},
+		{"dijkstra_tree_ref", func() { graph.ReferenceDijkstra(spTreeGraph, dijkstraSrc, nil, nil) }},
+		{"yen_k25", func() { graph.KShortestPaths(spYenGraph, 0, spYenGraph.NumNodes()-1, 25) }},
+		{"yen_k25_ref", func() { referenceYenK(spYenGraph, 0, spYenGraph.NumNodes()-1, 25) }},
+	} {
+		if !want(b.name) {
+			continue
+		}
+		run := b.run
+		res := bench(func(tb *testing.B) {
+			tb.ReportAllocs()
+			for i := 0; i < tb.N; i++ {
+				run()
+			}
+		})
+		rep.Benchmarks = append(rep.Benchmarks, toResult(b.name, res))
+	}
+
+	// Fault-scenario online reroute: the controller walks a 24-hour faulty
+	// horizon whose every request re-routes through nearest-replica trees;
+	// warm carries the repair engine across hours, cold recomputes each
+	// tree (Options.NoTreeReuse). Identical series either way, test-pinned.
+	for _, b := range []struct {
+		name string
+		cold bool
+	}{
+		{"online_fault_reroute", false},
+		{"online_fault_reroute_cold", true},
+	} {
+		if !want(b.name) {
+			continue
+		}
+		cold := b.cold
+		res := bench(func(tb *testing.B) {
+			tb.ReportAllocs()
+			for i := 0; i < tb.N; i++ {
+				if err := faultReroute(cold); err != nil {
+					tb.Fatal(err)
+				}
+			}
+		})
+		rep.Benchmarks = append(rep.Benchmarks, toResult(b.name, res))
 	}
 
 	// Experiment-harness wall times: one timed pass per table/figure id

@@ -34,6 +34,7 @@ var allAnalyzers = []*analyzer{
 	{"bg-context", "no context.Background()/context.TODO() in library packages; thread the caller's ctx", runBgContext},
 	{"go-stmt", "no bare go statements outside jcr/internal/par; fan-out goes through the worker pool", runGoStmt},
 	{"lp-ctor", "no direct lp.NewProblem outside the LP core; lputil.NewProblem is the designated constructor", runLPCtor},
+	{"sp-engine", "no direct graph.Dijkstra outside the graph package; graph.TreeOf and the tree engine are the designated entry points", runSPEngine},
 }
 
 // Lint runs the selected analyzers over one package and applies the

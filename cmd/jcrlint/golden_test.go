@@ -26,6 +26,7 @@ func TestGolden(t *testing.T) {
 		{"bgcontext", "bg-context"},
 		{"gostmt", "go-stmt"},
 		{"lpctor", "lp-ctor"},
+		{"spengine", "sp-engine"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {

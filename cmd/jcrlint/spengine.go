@@ -1,0 +1,47 @@
+package main
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// graphPackage owns the shortest-path kernels and the tree-repair engine.
+const graphPackage = "jcr/internal/graph"
+
+// runSPEngine keeps shortest-path computation behind the engine layer:
+// outside jcr/internal/graph, trees come from graph.TreeOf (one-shot) or
+// Engine.Tree / Engine.AllPairs / Engine.Reach (cached and incrementally
+// repaired across rounds and fault hours) — all bit-for-bit identical. A
+// direct graph.Dijkstra call bypasses the cache and, worse, re-introduces
+// call sites the engine rollout already converted (DESIGN.md §3.10).
+// Legitimate predicate-filtered runs (custom skipArc/skipNode) may
+// suppress with a jcrlint:allow directive explaining why no blessed entry
+// point fits.
+func runSPEngine(pkg *Package) []Diagnostic {
+	if pkg.Path == graphPackage || strings.HasSuffix(pkg.Path, "/internal/graph") {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if selectorPackage(pkg, sel) != graphPackage || sel.Sel.Name != "Dijkstra" {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      pkg.Fset.Position(call.Pos()),
+				Analyzer: "sp-engine",
+				Message:  "direct graph.Dijkstra outside jcr/internal/graph; use graph.TreeOf for a one-shot tree or Engine.Tree/AllPairs/Reach to reuse trees across calls (identical results, see DESIGN.md §3.10)",
+			})
+			return true
+		})
+	}
+	return diags
+}

@@ -1,0 +1,18 @@
+// Package spengine is a jcrlint golden-test fixture for the sp-engine
+// analyzer: direct graph.Dijkstra calls versus the blessed shortest-path
+// entry points (graph.TreeOf and the tree-repair engine).
+package spengine
+
+import "jcr/internal/graph"
+
+// Bad computes a tree through the raw kernel entry point (the violation):
+// the call bypasses the engine cache and its repair path.
+func Bad(g *graph.Graph) graph.ShortestTree {
+	return graph.Dijkstra(g, 0, nil, nil)
+}
+
+// Good goes through the blessed entry points (compliant): one-shot trees
+// via TreeOf, repeated trees via an Engine.
+func Good(g *graph.Graph, eng *graph.Engine) (graph.ShortestTree, graph.ShortestTree) {
+	return graph.TreeOf(g, 0), eng.Tree(g, 1)
+}

@@ -56,7 +56,7 @@ func EvaluateDecisionOnTruth(run *Run, pl *placement.Placement, decided []placem
 		}
 		tree, ok := rnrTrees[best]
 		if !ok {
-			tree = graph.Dijkstra(truth.G, best, nil, nil)
+			tree = run.engine().Tree(truth.G, best)
 			rnrTrees[best] = tree
 		}
 		p, ok := tree.PathTo(truth.G, rq.Node)

@@ -145,6 +145,10 @@ func buildFaultScenario(sc *Scenario, g *graph.Graph, window int, intensity floa
 // hours the injector actually rewrote.
 func degradeHours(scenario *faults.Scenario, base []*Run, startHour int) ([]online.HourInput, error) {
 	hours := make([]online.HourInput, len(base))
+	// One engine across the horizon: consecutive fault hours differ by a
+	// few links, so most per-source trees of the hourly all-pairs matrix
+	// are repaired, not recomputed.
+	eng := graph.NewEngine()
 	for h, run := range base {
 		dec, truth, _, err := scenario.Apply(h, run.Decision, run.Truth)
 		if err != nil {
@@ -152,7 +156,7 @@ func degradeHours(scenario *faults.Scenario, base []*Run, startHour int) ([]onli
 		}
 		dist := run.Dist
 		if dec != run.Decision {
-			dist = graph.AllPairs(dec.G)
+			dist = eng.AllPairs(dec.G)
 		}
 		hours[h] = online.HourInput{Hour: startHour + h, Decision: dec, Truth: truth, Dist: dist}
 	}

@@ -16,6 +16,11 @@ type fig6Instance struct {
 	aux  *graph.Auxiliary
 	inst *msufp.Instance
 	reqs []placement.Request
+	// eng caches the virtual source's shortest-path tree on the auxiliary
+	// graph across the instance's solvers and truth evaluations (one
+	// engine per instance: the auxiliary graph differs from the base, so
+	// sharing the Run's engine would thrash its home).
+	eng *graph.Engine
 }
 
 func newFig6Instance(run *Run, spec *placement.Spec) *fig6Instance {
@@ -23,14 +28,15 @@ func newFig6Instance(run *Run, spec *placement.Spec) *fig6Instance {
 	sources := []graph.NodeID{net.Origin, net.Edges[0]}
 	aux := graph.NewAuxiliary(spec.G, [][]graph.NodeID{sources})
 	reqs := spec.Requests()
-	inst := &msufp.Instance{G: aux.G, Source: aux.VirtualSource[0]}
+	eng := graph.NewEngine()
+	inst := &msufp.Instance{G: aux.G, Source: aux.VirtualSource[0], Eng: eng}
 	for _, rq := range reqs {
 		inst.Commodities = append(inst.Commodities, msufp.Commodity{
 			Dest:   rq.Node,
 			Demand: spec.Rates[rq.Item][rq.Node],
 		})
 	}
-	return &fig6Instance{aux: aux, inst: inst, reqs: reqs}
+	return &fig6Instance{aux: aux, inst: inst, reqs: reqs, eng: eng}
 }
 
 // evaluateOnTruth routes the TRUE demand over the decided per-request
@@ -50,7 +56,7 @@ func (fi *fig6Instance) evaluateOnTruth(run *Run, asgn *msufp.Assignment) (cost,
 		p, ok := decided[rq]
 		if !ok {
 			if tree == nil {
-				t := graph.Dijkstra(g, fi.inst.Source, nil, nil)
+				t := fi.eng.Tree(g, fi.inst.Source)
 				tree = &t
 			}
 			p, ok = tree.PathTo(g, rq.Node)

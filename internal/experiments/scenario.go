@@ -94,6 +94,20 @@ type Run struct {
 	// Dist is the all-pairs least-cost matrix (computed after costs and
 	// capacities are set; costs do not depend on capacities).
 	Dist [][]float64
+
+	// eng caches shortest-path trees across the run's truth evaluations.
+	// Runs are per-sample and per-worker, never shared across goroutines,
+	// so one lazy engine per Run is safe and keeps `-workers N` output
+	// bit-for-bit identical (the engine never changes results).
+	eng *graph.Engine
+}
+
+// engine returns the run's lazily created shortest-path-tree engine.
+func (run *Run) engine() *graph.Engine {
+	if run.eng == nil {
+		run.eng = graph.NewEngine()
+	}
+	return run.eng
 }
 
 // absoluteHour maps a collection-window hour to a trace index.

@@ -1,0 +1,88 @@
+package faults
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"jcr/internal/graph"
+	"jcr/internal/placement"
+)
+
+// The repair engine's trees across real fault sequences — links failing,
+// degrading, and recovering hour over hour through Scenario.Apply — are
+// bit-for-bit the cold canonical trees of each degraded graph:
+// node-for-node on distances, arc-for-arc on parents. This is the
+// determinism contract of DESIGN.md §3.10 exercised end to end through
+// the injector's graph-rebuild path, over hundreds of randomized
+// sequences.
+func TestEngineRepairMatchesColdOverFaultSequences(t *testing.T) {
+	const (
+		sequences = 320
+		hours     = 8
+	)
+	rng := rand.New(rand.NewSource(4099))
+	var repairs uint64
+	for seq := 0; seq < sequences; seq++ {
+		n := 6 + rng.Intn(9)
+		g := graph.New(n)
+		for v := 1; v < n; v++ {
+			g.AddEdge(rng.Intn(v), v, float64(1+rng.Intn(3)), float64(1+rng.Intn(10)))
+		}
+		for e := rng.Intn(n); e > 0; e-- {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v, float64(1+rng.Intn(3)), float64(1+rng.Intn(10)))
+			}
+		}
+		spec := func() *placement.Spec {
+			return &placement.Spec{
+				G:        g,
+				NumItems: 1,
+				CacheCap: make([]float64, n),
+				Pinned:   []graph.NodeID{0},
+				Rates:    [][]float64{make([]float64, n)},
+			}
+		}
+		dec, tr := spec(), spec()
+
+		links, err := Links(g)
+		if err != nil {
+			t.Fatalf("seq %d: %v", seq, err)
+		}
+		sc, err := RandomLinkFaults(g, hours, 3, 2, int64(seq+1))
+		if err != nil {
+			t.Fatalf("seq %d: %v", seq, err)
+		}
+		// Mix in capacity degradations: they rebuild the graph too but
+		// must leave every cached tree valid.
+		for d := 0; d < 2; d++ {
+			sc.Events = append(sc.Events, Event{
+				Kind: LinkDegrade, Link: rng.Intn(len(links)),
+				Start: rng.Intn(hours), Duration: 1 + rng.Intn(3),
+				Factor: 0.5,
+			})
+		}
+
+		eng := graph.NewEngine()
+		srcs := []graph.NodeID{0, graph.NodeID(rng.Intn(n))}
+		for hour := 0; hour < hours; hour++ {
+			dh, _, _, err := sc.Apply(hour, dec, tr)
+			if err != nil {
+				t.Fatalf("seq %d hour %d: %v", seq, hour, err)
+			}
+			for _, src := range srcs {
+				want := graph.TreeOf(dh.G, src)
+				got := eng.Tree(dh.G, src)
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("seq %d hour %d src %d: engine tree differs from cold Dijkstra\nwant %+v\ngot  %+v",
+						seq, hour, src, want, got)
+				}
+			}
+		}
+		repairs += eng.Stats().Repairs
+	}
+	if repairs == 0 {
+		t.Fatal("no incremental repairs exercised across any sequence")
+	}
+}

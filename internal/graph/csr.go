@@ -1,0 +1,126 @@
+package graph
+
+// csr is an immutable compressed-sparse-row snapshot of the adjacency at
+// one mutation generation. Every shortest-path kernel — Dijkstra, Yen's
+// spur searches, AllPairs, the repair engine — walks these flat parallel
+// arrays instead of chasing the per-node [][]ArcID rows, which removes a
+// pointer dereference and a bounds check per arc and keeps the scan
+// cache-resident. A snapshot is never mutated once built, so it is safe to
+// share across goroutines (parallel AllPairs pins one snapshot before
+// fanning out).
+type csr struct {
+	gen uint64
+	n   int
+	// Forward adjacency: the arcs leaving v occupy positions
+	// fwdHead[v]..fwdHead[v+1] of the parallel arrays, in ascending
+	// arc-ID order (AddArc appends, so out[v] is already sorted). The
+	// canonical tie-break rule of the kernels is defined over exactly
+	// this scan order; see DESIGN.md §3.10.
+	fwdHead []int32
+	fwdTo   []int32
+	fwdCost []float64
+	fwdArc  []int32
+	// Reverse adjacency: the arcs entering v, same layout. The repair
+	// engine re-seeds detached subtrees from the in-arcs of affected
+	// nodes; the plain kernels never touch it.
+	revHead []int32
+	revFrom []int32
+	revCost []float64
+	revArc  []int32
+}
+
+// view returns the CSR snapshot for the graph's current generation,
+// building it lazily on first use and rebuilding after any mutation
+// (Gen() moved). The returned snapshot is immutable; callers may hold it
+// across calls as long as they re-validate its gen against the graph's.
+func (g *Graph) view() *csr {
+	g.csrMu.Lock()
+	defer g.csrMu.Unlock()
+	if g.csrCache == nil || g.csrCache.gen != g.gen {
+		g.csrCache = buildCSR(g)
+	}
+	return g.csrCache
+}
+
+// buildCSRFromArcs flattens a bare arc list that has no backing *Graph —
+// the engine's merged home universe. Arcs are grouped by tail (forward) and
+// head (reverse) with ascending index order inside each group, the same
+// invariant buildCSR inherits from AddArc's append order.
+func buildCSRFromArcs(n int, arcs []Arc) *csr {
+	m := len(arcs)
+	c := &csr{
+		gen: 0, n: n,
+		fwdHead: make([]int32, n+1),
+		fwdTo:   make([]int32, m),
+		fwdCost: make([]float64, m),
+		fwdArc:  make([]int32, m),
+		revHead: make([]int32, n+1),
+		revFrom: make([]int32, m),
+		revCost: make([]float64, m),
+		revArc:  make([]int32, m),
+	}
+	for _, a := range arcs {
+		c.fwdHead[a.From+1]++
+		c.revHead[a.To+1]++
+	}
+	for v := 0; v < n; v++ {
+		c.fwdHead[v+1] += c.fwdHead[v]
+		c.revHead[v+1] += c.revHead[v]
+	}
+	fpos := append([]int32(nil), c.fwdHead[:n]...)
+	rpos := append([]int32(nil), c.revHead[:n]...)
+	for id, a := range arcs {
+		p := fpos[a.From]
+		fpos[a.From]++
+		c.fwdTo[p] = int32(a.To)
+		c.fwdCost[p] = a.Cost
+		c.fwdArc[p] = int32(id)
+		p = rpos[a.To]
+		rpos[a.To]++
+		c.revFrom[p] = int32(a.From)
+		c.revCost[p] = a.Cost
+		c.revArc[p] = int32(id)
+	}
+	return c
+}
+
+// buildCSR flattens the adjacency in O(nodes + arcs).
+func buildCSR(g *Graph) *csr {
+	n, m := g.NumNodes(), g.NumArcs()
+	c := &csr{
+		gen: g.gen, n: n,
+		fwdHead: make([]int32, n+1),
+		fwdTo:   make([]int32, m),
+		fwdCost: make([]float64, m),
+		fwdArc:  make([]int32, m),
+		revHead: make([]int32, n+1),
+		revFrom: make([]int32, m),
+		revCost: make([]float64, m),
+		revArc:  make([]int32, m),
+	}
+	pos := int32(0)
+	for v := 0; v < n; v++ {
+		c.fwdHead[v] = pos
+		for _, id := range g.out[v] {
+			a := g.arcs[id]
+			c.fwdTo[pos] = int32(a.To)
+			c.fwdCost[pos] = a.Cost
+			c.fwdArc[pos] = int32(id)
+			pos++
+		}
+	}
+	c.fwdHead[n] = pos
+	pos = 0
+	for v := 0; v < n; v++ {
+		c.revHead[v] = pos
+		for _, id := range g.in[v] {
+			a := g.arcs[id]
+			c.revFrom[pos] = int32(a.From)
+			c.revCost[pos] = a.Cost
+			c.revArc[pos] = int32(id)
+			pos++
+		}
+	}
+	c.revHead[n] = pos
+	return c
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // NodeID identifies a node. Nodes are dense integers in [0, NumNodes).
@@ -44,6 +45,12 @@ type Graph struct {
 	// the generation they were built at and rebuild when it moves, so fault
 	// injection mutating capacities in place cannot serve stale topology.
 	gen uint64
+	// csrCache is the lazily built CSR flattening of the adjacency at
+	// csrCache.gen; view() rebuilds it when gen moves. The mutex only
+	// serializes concurrent lazy builds (parallel AllPairs workers): mutating
+	// the graph while another goroutine reads it remains a caller bug.
+	csrMu    sync.Mutex
+	csrCache *csr
 }
 
 // Gen returns the mutation generation: it changes whenever the graph does.
@@ -156,17 +163,34 @@ func (g *Graph) UndirectedDegree(v NodeID) int {
 	return len(seen)
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph. The adjacency rows of the copy
+// share two flat backing arrays (one per direction) instead of 2n separate
+// allocations, which makes the auxiliary-graph construction — clone, then
+// append virtual arcs — cheap on the routing hot path.
 func (g *Graph) Clone() *Graph {
-	c := New(g.NumNodes())
-	c.arcs = make([]Arc, len(g.arcs))
-	copy(c.arcs, g.arcs)
-	for v := range g.out {
-		c.out[v] = append([]ArcID(nil), g.out[v]...)
-		c.in[v] = append([]ArcID(nil), g.in[v]...)
+	n := g.NumNodes()
+	c := &Graph{
+		arcs: append([]Arc(nil), g.arcs...),
+		out:  make([][]ArcID, n),
+		in:   make([][]ArcID, n),
+		gen:  g.gen,
 	}
-	c.gen = g.gen
+	// The three-index subslices pin cap == len, so AddArc on the clone
+	// copies a row out of the shared backing instead of clobbering the
+	// next node's row.
+	flatten(c.out, g.out, len(g.arcs))
+	flatten(c.in, g.in, len(g.arcs))
 	return c
+}
+
+// flatten copies the rows of src into dst, backed by one shared array.
+func flatten(dst, src [][]ArcID, arcs int) {
+	flat := make([]ArcID, 0, arcs)
+	for v, ids := range src {
+		a := len(flat)
+		flat = append(flat, ids...)
+		dst[v] = flat[a:len(flat):len(flat)]
+	}
 }
 
 // Connected reports whether every node is reachable from node 0 when arc

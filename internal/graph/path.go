@@ -3,6 +3,8 @@ package graph
 import (
 	"fmt"
 	"math"
+
+	"jcr/internal/par"
 )
 
 // Path is a sequence of arc IDs forming a walk in a graph.
@@ -83,55 +85,6 @@ func (p Path) Validate(g *Graph, src, dst NodeID) error {
 	return nil
 }
 
-// arcHeap is a binary min-heap of (node, dist) entries for Dijkstra.
-type distHeap struct {
-	node []NodeID
-	dist []float64
-}
-
-func (h *distHeap) push(v NodeID, d float64) {
-	h.node = append(h.node, v)
-	h.dist = append(h.dist, d)
-	i := len(h.node) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if h.dist[parent] <= h.dist[i] {
-			break
-		}
-		h.node[parent], h.node[i] = h.node[i], h.node[parent]
-		h.dist[parent], h.dist[i] = h.dist[i], h.dist[parent]
-		i = parent
-	}
-}
-
-func (h *distHeap) pop() (NodeID, float64) {
-	v, d := h.node[0], h.dist[0]
-	last := len(h.node) - 1
-	h.node[0], h.dist[0] = h.node[last], h.dist[last]
-	h.node = h.node[:last]
-	h.dist = h.dist[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < last && h.dist[l] < h.dist[small] {
-			small = l
-		}
-		if r < last && h.dist[r] < h.dist[small] {
-			small = r
-		}
-		if small == i {
-			break
-		}
-		h.node[small], h.node[i] = h.node[i], h.node[small]
-		h.dist[small], h.dist[i] = h.dist[i], h.dist[small]
-		i = small
-	}
-	return v, d
-}
-
-func (h *distHeap) empty() bool { return len(h.node) == 0 }
-
 // ShortestTree holds the result of a single-source shortest-path run.
 type ShortestTree struct {
 	Source NodeID
@@ -162,54 +115,258 @@ func (t ShortestTree) PathTo(g *Graph, v NodeID) (Path, bool) {
 	return Path{Arcs: arcs}, true
 }
 
-// Dijkstra computes least-cost paths from src using arc costs. Capacities
-// are ignored. The skipArc predicate, if non-nil, excludes arcs for which it
-// returns true; the skipNode predicate likewise excludes nodes (other than
-// src). Either may be nil.
-func Dijkstra(g *Graph, src NodeID, skipArc func(ArcID) bool, skipNode func(NodeID) bool) ShortestTree {
-	n := g.NumNodes()
+// dijkstraCSR runs the canonical shortest-path kernel from src over the
+// CSR view into s, which must hold a freshly reset epoch. Settle order is
+// ascending (dist, node), relaxation is strictly improving, and each
+// node's out-arcs are scanned in ascending arc-ID order; together these
+// make the parent of every node the arc minimizing
+// (dist[tail], tail, arc ID) among the arcs attaining its distance. The
+// resulting tree is a pure function of the graph — no heap accidents —
+// which is what lets the repair engine reproduce trees bit for bit
+// (DESIGN.md §3.10). goal >= 0 stops the run as soon as goal settles (its
+// distance and parent chain are final then); pass -1 for a full tree.
+func dijkstraCSR(c *csr, src, goal NodeID, s *scratch, skipArc func(ArcID) bool, skipNode func(NodeID) bool) {
+	sv := int32(src)
+	s.visit(sv)
+	s.dist[sv] = 0
+	s.heapFix(s.dist, sv)
+	for len(s.heap) > 0 {
+		v := s.heapPop(s.dist)
+		if int(v) == goal {
+			return
+		}
+		d := s.dist[v]
+		for j := c.fwdHead[v]; j < c.fwdHead[v+1]; j++ {
+			id := c.fwdArc[j]
+			if skipArc != nil && skipArc(ArcID(id)) {
+				continue
+			}
+			w := c.fwdTo[j]
+			if skipNode != nil && NodeID(w) != src && skipNode(NodeID(w)) {
+				continue
+			}
+			nd := d + c.fwdCost[j]
+			s.visit(w)
+			if nd < s.dist[w] {
+				s.dist[w] = nd
+				s.parent[w] = id
+				s.heapFix(s.dist, w)
+			}
+		}
+	}
+}
+
+// dijkstraCSRPlain is the no-predicate full-tree kernel: identical settle
+// order, relaxation, and tie behaviour to dijkstraCSR with nil predicates,
+// minus the two predicate nil-checks per scanned arc and with the CSR
+// arrays hoisted out of the loop. Full-tree entry points without
+// predicates (TreeOf, AllPairs, the engine's unmasked cold path) all land
+// here.
+func dijkstraCSRPlain(c *csr, src NodeID, s *scratch) {
+	sv := int32(src)
+	s.visit(sv)
+	s.dist[sv] = 0
+	s.heapFix(s.dist, sv)
+	fwdTo, fwdCost, fwdArc := c.fwdTo, c.fwdCost, c.fwdArc
+	for len(s.heap) > 0 {
+		v := s.heapPop(s.dist)
+		d := s.dist[v]
+		for j := c.fwdHead[v]; j < c.fwdHead[v+1]; j++ {
+			w := fwdTo[j]
+			nd := d + fwdCost[j]
+			if s.stamp[w] != s.cur {
+				// First touch always improves on the implicit
+				// +inf, so fuse the epoch init with the relax.
+				s.stamp[w] = s.cur
+				s.dist[w] = nd
+				s.parent[w] = fwdArc[j]
+				s.pos[w] = -1
+				s.heapFix(s.dist, w)
+			} else if nd < s.dist[w] {
+				s.dist[w] = nd
+				s.parent[w] = fwdArc[j]
+				s.heapFix(s.dist, w)
+			}
+		}
+	}
+}
+
+// dijkstraCSRBan is dijkstraCSR with the ban predicates flattened to bool
+// arrays, the shape of Yen's spur searches. Identical settle order,
+// relaxation, and tie behaviour — only the per-arc indirect calls are gone,
+// which matters when the kernel runs hundreds of times per Yen invocation.
+// banNode[src] must be false (Yen never bans the spur node).
+func dijkstraCSRBan(c *csr, src, goal NodeID, s *scratch, banArc, banNode []bool) {
+	sv := int32(src)
+	s.visit(sv)
+	s.dist[sv] = 0
+	s.heapFix(s.dist, sv)
+	fwdTo, fwdCost, fwdArc := c.fwdTo, c.fwdCost, c.fwdArc
+	for len(s.heap) > 0 {
+		v := s.heapPop(s.dist)
+		if int(v) == goal {
+			return
+		}
+		d := s.dist[v]
+		for j := c.fwdHead[v]; j < c.fwdHead[v+1]; j++ {
+			if banArc[fwdArc[j]] {
+				continue
+			}
+			w := fwdTo[j]
+			if banNode[w] {
+				continue
+			}
+			nd := d + fwdCost[j]
+			if s.stamp[w] != s.cur {
+				s.stamp[w] = s.cur
+				s.dist[w] = nd
+				s.parent[w] = fwdArc[j]
+				s.pos[w] = -1
+				s.heapFix(s.dist, w)
+			} else if nd < s.dist[w] {
+				s.dist[w] = nd
+				s.parent[w] = fwdArc[j]
+				s.heapFix(s.dist, w)
+			}
+		}
+	}
+}
+
+// dijkstraCSRMask is the full-tree kernel with the engine's disabled-arc
+// bitmask inlined (nil means nothing disabled). Same canonical behaviour as
+// dijkstraCSR; it exists so the engine's cold path and repairs do not pay an
+// indirect call per scanned arc.
+func dijkstraCSRMask(c *csr, src NodeID, s *scratch, mask []uint64) {
+	if mask == nil {
+		dijkstraCSRPlain(c, src, s)
+		return
+	}
+	sv := int32(src)
+	s.visit(sv)
+	s.dist[sv] = 0
+	s.heapFix(s.dist, sv)
+	fwdTo, fwdCost, fwdArc := c.fwdTo, c.fwdCost, c.fwdArc
+	for len(s.heap) > 0 {
+		v := s.heapPop(s.dist)
+		d := s.dist[v]
+		for j := c.fwdHead[v]; j < c.fwdHead[v+1]; j++ {
+			id := fwdArc[j]
+			if mask[id>>6]&(1<<(uint(id)&63)) != 0 {
+				continue
+			}
+			w := fwdTo[j]
+			nd := d + fwdCost[j]
+			if s.stamp[w] != s.cur {
+				s.stamp[w] = s.cur
+				s.dist[w] = nd
+				s.parent[w] = id
+				s.pos[w] = -1
+				s.heapFix(s.dist, w)
+			} else if nd < s.dist[w] {
+				s.dist[w] = nd
+				s.parent[w] = id
+				s.heapFix(s.dist, w)
+			}
+		}
+	}
+}
+
+// extractTree materializes the scratch of a completed full run (goal -1)
+// as a ShortestTree; unstamped nodes were never reached.
+func (s *scratch) extractTree(src NodeID, n int) ShortestTree {
 	dist := make([]float64, n)
 	parent := make([]ArcID, n)
-	done := make([]bool, n)
-	for v := range dist {
-		dist[v] = math.Inf(1)
-		parent[v] = -1
-	}
-	dist[src] = 0
-	var h distHeap
-	h.push(src, 0)
-	for !h.empty() {
-		v, d := h.pop()
-		if done[v] || d > dist[v] {
-			continue
-		}
-		done[v] = true
-		for _, id := range g.Out(v) {
-			if skipArc != nil && skipArc(id) {
-				continue
-			}
-			a := g.Arc(id)
-			if skipNode != nil && a.To != src && skipNode(a.To) {
-				continue
-			}
-			if nd := d + a.Cost; nd < dist[a.To] {
-				dist[a.To] = nd
-				parent[a.To] = id
-				h.push(a.To, nd)
-			}
+	for v := 0; v < n; v++ {
+		if s.stamp[v] == s.cur {
+			dist[v] = s.dist[v]
+			parent[v] = ArcID(s.parent[v])
+		} else {
+			dist[v] = posInf
+			parent[v] = -1
 		}
 	}
 	return ShortestTree{Source: src, Dist: dist, ParentArc: parent}
 }
 
+// path reconstructs the settled src->dst path straight from the scratch,
+// valid as soon as dst has settled (so usable after a goal-bounded run).
+func (s *scratch) path(g *Graph, src, dst NodeID) (Path, bool) {
+	d := int32(dst)
+	if s.stamp[d] != s.cur || math.IsInf(s.dist[d], 1) {
+		return Path{}, false
+	}
+	var rev []ArcID
+	for int(d) != src {
+		id := s.parent[d]
+		rev = append(rev, ArcID(id))
+		d = int32(g.arcs[id].From)
+	}
+	arcs := make([]ArcID, len(rev))
+	for i := range rev {
+		arcs[i] = rev[len(rev)-1-i]
+	}
+	return Path{Arcs: arcs}, true
+}
+
+// Dijkstra computes least-cost paths from src using arc costs. Capacities
+// are ignored. The skipArc predicate, if non-nil, excludes arcs for which it
+// returns true; the skipNode predicate likewise excludes nodes (other than
+// src). Either may be nil.
+//
+// Ties between equal-cost shortest paths break canonically (see
+// dijkstraCSR), so the returned tree is a pure function of the graph and
+// the predicates. Call sites without predicates should prefer TreeOf, or
+// Engine.Tree when trees repeat across calls (both identical bit for bit);
+// the jcrlint sp-engine analyzer flags direct Dijkstra calls outside this
+// package.
+func Dijkstra(g *Graph, src NodeID, skipArc func(ArcID) bool, skipNode func(NodeID) bool) ShortestTree {
+	c := g.view()
+	s := acquireScratch(c.n)
+	if skipArc == nil && skipNode == nil {
+		dijkstraCSRPlain(c, src, s)
+	} else {
+		dijkstraCSR(c, src, -1, s, skipArc, skipNode)
+	}
+	t := s.extractTree(src, c.n)
+	releaseScratch(s)
+	return t
+}
+
+// TreeOf is the one-shot full-tree entry point: the canonical shortest-path
+// tree of g from src. It equals Engine.Tree on the same graph bit for bit;
+// use an Engine instead when the same or nearly the same tree is needed
+// repeatedly (across alternating rounds, fault hours, or replica loops).
+func TreeOf(g *Graph, src NodeID) ShortestTree {
+	return Dijkstra(g, src, nil, nil)
+}
+
 // AllPairs computes the pairwise least costs w_{v->s} for all ordered node
-// pairs by running Dijkstra from every node. Result[v][s] is the least cost
-// from v to s.
+// pairs by running the shortest-path kernel from every node, fanning the
+// sources out over the par worker pool. Result[v][s] is the least cost
+// from v to s. Each worker draws its own pooled scratch and writes only
+// its own row, and distances are tie-independent, so the result is
+// identical to the sequential loop regardless of worker count.
 func AllPairs(g *Graph) [][]float64 {
-	n := g.NumNodes()
+	c := g.view()
+	n := c.n
 	dist := make([][]float64, n)
-	for v := 0; v < n; v++ {
-		dist[v] = Dijkstra(g, v, nil, nil).Dist
+	if err := par.Do(nil, 0, n, func(v int) error {
+		s := acquireScratch(n)
+		dijkstraCSRPlain(c, NodeID(v), s)
+		row := make([]float64, n)
+		for w := 0; w < n; w++ {
+			if s.stamp[w] == s.cur {
+				row[w] = s.dist[w]
+			} else {
+				row[w] = posInf
+			}
+		}
+		dist[v] = row
+		releaseScratch(s)
+		return nil
+	}); err != nil {
+		//jcrlint:allow lib-panic: programmer-error guard; no context is threaded and the per-source closures cannot fail
+		panic(err)
 	}
 	return dist
 }

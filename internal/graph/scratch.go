@@ -1,0 +1,162 @@
+package graph
+
+import (
+	"math"
+	"sync"
+)
+
+var posInf = math.Inf(1)
+
+// scratch is the pooled working state of one shortest-path run: tentative
+// distances, parent arcs, and an indexed 4-ary heap with decrease-key.
+// Entries are epoch-stamped — slot v is meaningful only while
+// stamp[v] == cur — so opening a fresh run is one counter increment
+// instead of an O(n) clear, and a run over a small reachable region
+// touches only that region. Scratches come from a sync.Pool: concurrent
+// shortest-path calls (par.Do worker fan-out) each draw their own, so the
+// kernels are goroutine-safe without locking.
+type scratch struct {
+	cur    uint64
+	stamp  []uint64
+	dist   []float64
+	parent []int32
+	pos    []int32 // heap index of a stamped node, -1 when not queued
+	heap   []int32
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// acquireScratch returns a scratch with a fresh epoch covering n nodes.
+func acquireScratch(n int) *scratch {
+	s := scratchPool.Get().(*scratch)
+	s.reset(n)
+	return s
+}
+
+func releaseScratch(s *scratch) { scratchPool.Put(s) }
+
+// reset opens a fresh epoch over n nodes. Newly allocated arrays are
+// zeroed while cur is bumped to at least 1, so untouched slots can never
+// masquerade as stamped.
+func (s *scratch) reset(n int) {
+	if cap(s.stamp) < n {
+		s.stamp = make([]uint64, n)
+		s.dist = make([]float64, n)
+		s.parent = make([]int32, n)
+		s.pos = make([]int32, n)
+	}
+	s.stamp = s.stamp[:n]
+	s.dist = s.dist[:n]
+	s.parent = s.parent[:n]
+	s.pos = s.pos[:n]
+	s.heap = s.heap[:0]
+	s.cur++
+}
+
+// visit initializes v in the current epoch: unreachable, no parent, not
+// queued. Idempotent within an epoch.
+func (s *scratch) visit(v int32) {
+	if s.stamp[v] != s.cur {
+		s.stamp[v] = s.cur
+		s.dist[v] = posInf
+		s.parent[v] = -1
+		s.pos[v] = -1
+	}
+}
+
+// mark stamps v with no queue position but leaves dist/parent scratch
+// slots alone — the repair engine keeps those in its persistent per-tree
+// arrays and borrows only the stamp, heap, and pos machinery.
+func (s *scratch) mark(v int32) {
+	if s.stamp[v] != s.cur {
+		s.stamp[v] = s.cur
+		s.pos[v] = -1
+	}
+}
+
+// marked reports whether v was stamped in the current epoch.
+func (s *scratch) marked(v int32) bool { return s.stamp[v] == s.cur }
+
+// heapLess orders heap entries by (dist, node) ascending — the canonical
+// settle order every kernel and the repair engine share. The key array is
+// a parameter because the repair engine heapifies over its persistent
+// per-tree distances rather than the scratch's own.
+func heapLess(dist []float64, a, b int32) bool {
+	da, db := dist[a], dist[b]
+	//jcrlint:allow float-eq: exact tie-break on identically computed distances, not a tolerance check
+	if da != db {
+		return da < db
+	}
+	return a < b
+}
+
+// heapFix pushes v (pos < 0) or restores heap order after its key
+// decreased. All stamped slots must have been visit()ed or mark()ed first.
+func (s *scratch) heapFix(dist []float64, v int32) {
+	i := int(s.pos[v])
+	if i < 0 {
+		i = len(s.heap)
+		s.heap = append(s.heap, v)
+	}
+	s.siftUp(dist, i)
+}
+
+func (s *scratch) siftUp(dist []float64, i int) {
+	h := s.heap
+	v := h[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !heapLess(dist, v, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		s.pos[h[i]] = int32(i)
+		i = p
+	}
+	h[i] = v
+	s.pos[v] = int32(i)
+}
+
+// heapPop removes and returns the (dist, node)-least queued node.
+func (s *scratch) heapPop(dist []float64) int32 {
+	h := s.heap
+	top := h[0]
+	s.pos[top] = -1
+	last := len(h) - 1
+	v := h[last]
+	s.heap = h[:last]
+	if last > 0 {
+		s.siftDown(dist, 0, v)
+	}
+	return top
+}
+
+// siftDown places v at index i and restores heap order below it.
+func (s *scratch) siftDown(dist []float64, i int, v int32) {
+	h := s.heap
+	n := len(h)
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if heapLess(dist, h[j], h[best]) {
+				best = j
+			}
+		}
+		if !heapLess(dist, h[best], v) {
+			break
+		}
+		h[i] = h[best]
+		s.pos[h[i]] = int32(i)
+		i = best
+	}
+	h[i] = v
+	s.pos[v] = int32(i)
+}

@@ -6,11 +6,20 @@ import "sort"
 // in ascending cost order, using Yen's algorithm. It returns fewer than k
 // paths if the graph does not contain that many distinct simple paths. The
 // baseline of Ioannidis & Yeh [3] builds its candidate path set this way.
+//
+// All spur searches share one CSR snapshot and one pooled scratch, stop as
+// soon as dst settles, and express their arc/node bans as flat []bool
+// arrays set and unset around each search — no per-spur map allocation or
+// hashing on the kernel's hot path.
 func KShortestPaths(g *Graph, src, dst NodeID, k int) []Path {
 	if k <= 0 {
 		return nil
 	}
-	first, ok := Dijkstra(g, src, nil, nil).PathTo(g, dst)
+	c := g.view()
+	s := acquireScratch(c.n)
+	defer releaseScratch(s)
+	dijkstraCSR(c, src, dst, s, nil, nil)
+	first, ok := s.path(g, src, dst)
 	if !ok {
 		return nil
 	}
@@ -28,6 +37,10 @@ func KShortestPaths(g *Graph, src, dst NodeID, k int) []Path {
 	var seen pathSet
 	seen.add(first.Arcs)
 
+	banArc := make([]bool, g.NumArcs())
+	banNode := make([]bool, c.n)
+	var banned []ArcID // arcs set in banArc for the current spur
+
 	for len(accepted) < k {
 		prev := accepted[len(accepted)-1]
 		prevNodes := prev.Nodes(g)
@@ -38,28 +51,30 @@ func KShortestPaths(g *Graph, src, dst NodeID, k int) []Path {
 
 			// Arcs removed: for every accepted path sharing the
 			// root, remove the arc it takes out of the spur node.
-			banArc := make(map[ArcID]struct{})
+			banned = banned[:0]
 			for _, p := range accepted {
 				if len(p.Arcs) > i && sameArcs(p.Arcs[:i], rootArcs) {
-					banArc[p.Arcs[i]] = struct{}{}
+					if id := p.Arcs[i]; !banArc[id] {
+						banArc[id] = true
+						banned = append(banned, id)
+					}
 				}
 			}
 			// Nodes removed: all root nodes before the spur node.
-			banNode := make(map[NodeID]struct{})
 			for _, v := range prevNodes[:i] {
-				banNode[v] = struct{}{}
+				banNode[v] = true
 			}
 
-			tree := Dijkstra(g, spurNode,
-				func(id ArcID) bool {
-					_, banned := banArc[id]
-					return banned
-				},
-				func(v NodeID) bool {
-					_, banned := banNode[v]
-					return banned
-				})
-			spur, ok := tree.PathTo(g, dst)
+			s.reset(c.n)
+			dijkstraCSRBan(c, spurNode, dst, s, banArc, banNode)
+			spur, ok := s.path(g, spurNode, dst)
+
+			for _, id := range banned {
+				banArc[id] = false
+			}
+			for _, v := range prevNodes[:i] {
+				banNode[v] = false
+			}
 			if !ok {
 				continue
 			}

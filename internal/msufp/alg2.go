@@ -94,7 +94,7 @@ func SolveAlg2(inst *Instance, k int) (*Assignment, error) {
 // SolveRNR routes every commodity on its least-cost path, ignoring
 // capacities: the route-to-nearest-replica baseline of [3] used in Fig. 6.
 func SolveRNR(inst *Instance) (*Assignment, error) {
-	tree := graph.Dijkstra(inst.G, inst.Source, nil, nil)
+	tree := inst.Eng.Tree(inst.G, inst.Source)
 	asgn := &Assignment{Paths: make([]graph.Path, len(inst.Commodities))}
 	for i, c := range inst.Commodities {
 		p, ok := tree.PathTo(inst.G, c.Dest)

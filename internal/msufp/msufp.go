@@ -38,6 +38,10 @@ type Instance struct {
 	Source graph.NodeID
 	// Commodities lists the demands; all share Source.
 	Commodities []Commodity
+	// Eng, when non-nil, serves the source's shortest-path tree from a
+	// cross-instance cache (Fig. 6 solves one instance per virtual source
+	// on the same auxiliary graph). Results are identical either way.
+	Eng *graph.Engine
 }
 
 // ErrNoCommodities reports an instance without demands.

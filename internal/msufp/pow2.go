@@ -87,9 +87,11 @@ func UnsplittablePow2Residual(g *graph.Graph, src graph.NodeID, dests []graph.No
 			hi++
 		}
 		if d <= 0 {
-			// Zero demands get an arbitrary valid path (shortest).
+			// Zero demands get an arbitrary valid path (shortest),
+			// all read off one tree.
+			tree := graph.TreeOf(g, src)
 			for _, i := range order[lo:hi] {
-				p, ok := graph.Dijkstra(g, src, nil, nil).PathTo(g, dests[i])
+				p, ok := tree.PathTo(g, dests[i])
 				if !ok {
 					return nil, fmt.Errorf("msufp: destination %d unreachable", dests[i])
 				}

@@ -233,6 +233,14 @@ type Options struct {
 	// service accounting) before applying it; an invalid decision is
 	// treated as a failed attempt.
 	Validate bool
+	// NoTreeReuse disables the shortest-path-tree engine that carries
+	// repaired trees across consecutive hours of the truth evaluation
+	// (fault hours reuse the previous hour's trees, incrementally fixed
+	// for the links that moved). The engine is bit-for-bit invisible in
+	// every metric — disabling it only recomputes each tree cold — so
+	// this switch exists for A/B timing and determinism tests, mirroring
+	// AlternatingPolicy.NoSolverReuse.
+	NoTreeReuse bool
 }
 
 // Simulate runs the policy over the given hours, aborting on the first
@@ -252,6 +260,10 @@ func Run(ctx context.Context, policy Policy, hours []HourInput, opts Options) (*
 		return nil, fmt.Errorf("online: negative Options values: %+v", opts)
 	}
 	out := &Series{Policy: policy.Name()}
+	var eng *graph.Engine // nil when NoTreeReuse: every truth tree cold
+	if !opts.NoTreeReuse {
+		eng = graph.NewEngine()
+	}
 	var prev *placement.Placement     // previous hour's applied placement, for churn
 	var lastGood *placement.Placement // placement of the last fresh decision
 	stale := false
@@ -282,7 +294,7 @@ func Run(ctx context.Context, policy Policy, hours []HourInput, opts Options) (*
 		}
 		stale = source == SourceStale
 
-		ev, err := evaluateOnTruth(h, dec, opts.Resilient)
+		ev, err := evaluateOnTruth(h, dec, opts.Resilient, eng)
 		if err != nil {
 			return nil, fmt.Errorf("online: %s at hour %d: %w", policy.Name(), h.Hour, err)
 		}
@@ -420,8 +432,10 @@ type hourEval struct {
 // bestEffort, demand with no reachable replica is accounted as unserved
 // instead of failing the hour (degraded networks legitimately strand
 // requesters); otherwise unreachable demand is an error, the strict
-// historical behavior.
-func evaluateOnTruth(h HourInput, dec *Decision, bestEffort bool) (hourEval, error) {
+// historical behavior. The engine, when non-nil, serves the nearest-replica
+// trees from its cross-hour cache (identical bit for bit to computing them
+// cold); the local map still memoizes within the hour either way.
+func evaluateOnTruth(h HourInput, dec *Decision, bestEffort bool, eng *graph.Engine) (hourEval, error) {
 	var ev hourEval
 	truth := h.Truth
 	byReq := map[placement.Request][]placement.ServingPath{}
@@ -456,7 +470,7 @@ func evaluateOnTruth(h HourInput, dec *Decision, bestEffort bool) (hourEval, err
 		}
 		tree, ok := trees[best]
 		if !ok {
-			tree = graph.Dijkstra(truth.G, best, nil, nil)
+			tree = eng.Tree(truth.G, best)
 			trees[best] = tree
 		}
 		p, ok := tree.PathTo(truth.G, rq.Node)

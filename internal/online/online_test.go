@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 
+	"jcr/internal/faults"
 	"jcr/internal/graph"
 	"jcr/internal/placement"
 )
@@ -169,7 +171,7 @@ func TestEvaluateOnTruthUnanticipated(t *testing.T) {
 		Rates:    [][]float64{{0, 2}},
 	}
 	dec := &Decision{Placement: s.NewPlacement()}
-	ev, err := evaluateOnTruth(HourInput{Truth: s, Dist: graph.AllPairs(g)}, dec, false)
+	ev, err := evaluateOnTruth(HourInput{Truth: s, Dist: graph.AllPairs(g)}, dec, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -425,5 +427,66 @@ func TestFaultFallbackEvictsToDegradedCapacity(t *testing.T) {
 	// counted as churn against hour 0.
 	if h.Churn != 1 {
 		t.Errorf("hour 1 churn = %d, want 1 (the evicted entry)", h.Churn)
+	}
+}
+
+// TestTreeReuseIsBitForBit: the shortest-path-tree engine must be
+// invisible in the series. An online run over a faulty horizon — links
+// failing, degrading, and recovering, every truth request served through
+// the nearest-replica fallback — must equal the same run with every tree
+// computed cold, field for field.
+func TestTreeReuseIsBitForBit(t *testing.T) {
+	g := graph.New(5)
+	g.AddEdge(0, 1, 1, 10)
+	g.AddEdge(1, 2, 2, 10)
+	g.AddEdge(2, 3, 1, 10)
+	g.AddEdge(3, 4, 2, 10)
+	g.AddEdge(0, 4, 3, 10)
+	g.AddEdge(1, 3, 2, 10)
+	sc := &faults.Scenario{Events: []faults.Event{
+		{Kind: faults.LinkDown, Start: 1, Duration: 2, Link: 5},
+		{Kind: faults.LinkDown, Start: 2, Duration: 2, Link: 0},
+		{Kind: faults.LinkDegrade, Start: 3, Duration: 1, Link: 2, Factor: 0.5},
+	}}
+	mk := func() *placement.Spec {
+		return &placement.Spec{
+			G: g, NumItems: 2,
+			CacheCap: []float64{0, 1, 1, 1, 0},
+			Pinned:   []graph.NodeID{0},
+			Rates:    [][]float64{{0, 0, 2, 1, 3}, {0, 1, 0, 2, 1}},
+		}
+	}
+	var hours []HourInput
+	for h := 0; h < 5; h++ {
+		dec, tr, _, err := sc.Apply(h, mk(), mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		hours = append(hours, HourInput{Hour: h, Decision: dec, Truth: tr, Dist: graph.AllPairs(dec.G)})
+	}
+	// The decision never plans any serving, so every request of every hour
+	// goes through the nearest-replica trees the engine caches.
+	pol := func() Policy {
+		return &scriptedPolicy{name: "origin-only", fn: func(_ int, _ context.Context, spec *placement.Spec, _ [][]float64) (*Decision, error) {
+			return &Decision{Placement: spec.NewPlacement()}, nil
+		}}
+	}
+	warm, err := Run(context.Background(), pol(), hours, Options{Resilient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Run(context.Background(), pol(), hours, Options{Resilient: true, NoTreeReuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warm, cold) {
+		t.Fatalf("tree reuse changed the series:\nwarm %+v\ncold %+v", warm, cold)
+	}
+	var touched float64
+	for _, h := range warm.Hours {
+		touched += h.Unanticipated + h.Unserved
+	}
+	if touched == 0 {
+		t.Fatal("horizon never exercised the fallback trees")
 	}
 }

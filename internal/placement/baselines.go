@@ -51,7 +51,7 @@ func EvaluateServing(s *Spec, paths []ServingPath, pl *Placement) (cost float64,
 // This is the fixed routing of the [38] baseline ("shortest path") and of
 // the "SP" benchmarks in Figs. 7-8.
 func ShortestServingPaths(s *Spec, root graph.NodeID) ([]ServingPath, error) {
-	tree := graph.Dijkstra(s.G, root, nil, nil)
+	tree := graph.TreeOf(s.G, root)
 	var out []ServingPath
 	for _, rq := range s.Requests() {
 		p, ok := tree.PathTo(s.G, rq.Node)
@@ -301,6 +301,14 @@ func KSPServingPaths(s *Spec, pl *Placement, origin graph.NodeID, k int) ([]Serv
 // request from its nearest replica over that replica's least-cost path,
 // capacity-oblivious: the "RNR" routing used by the "SP + RNR" benchmark.
 func GlobalRNRServing(s *Spec, pl *Placement, dist [][]float64) ([]ServingPath, error) {
+	return GlobalRNRServingEngine(s, pl, dist, nil)
+}
+
+// GlobalRNRServingEngine is GlobalRNRServing with the per-replica trees
+// served from a shortest-path-tree engine: callers that re-route the same
+// (or a faulted) graph repeatedly thread one handle and the trees carry
+// over bit for bit. A nil engine computes each tree cold, identically.
+func GlobalRNRServingEngine(s *Spec, pl *Placement, dist [][]float64, eng *graph.Engine) ([]ServingPath, error) {
 	srcs, _, err := s.RNRSources(pl, dist)
 	if err != nil {
 		return nil, err
@@ -311,7 +319,7 @@ func GlobalRNRServing(s *Spec, pl *Placement, dist [][]float64) ([]ServingPath, 
 		v := srcs[rq]
 		tree, ok := trees[v]
 		if !ok {
-			tree = graph.Dijkstra(s.G, v, nil, nil)
+			tree = eng.Tree(s.G, v)
 			trees[v] = tree
 		}
 		p, ok := tree.PathTo(s.G, rq.Node)

@@ -48,11 +48,28 @@ type Reuse struct {
 	// mcRow[k][v] is the conservation row of (item k, node v), -1 when the
 	// node has no incident arcs (no row emitted).
 	mcRow [][]int
+
+	eng *graph.Engine
 }
 
 // NewReuse returns an empty handle; every first use builds from scratch.
 func NewReuse() *Reuse {
 	return &Reuse{mcSolver: lp.NewSolver()}
+}
+
+// Engine returns the handle's shortest-path-tree engine, created lazily:
+// the best-effort reach filter asks it for per-replica trees, which repeat
+// across alternating rounds (same graph, same replicas) and repair cheaply
+// across fault hours. A nil handle returns a nil engine, which computes
+// everything cold — identical results either way.
+func (r *Reuse) Engine() *graph.Engine {
+	if r == nil {
+		return nil
+	}
+	if r.eng == nil {
+		r.eng = graph.NewEngine()
+	}
+	return r.eng
 }
 
 // Invalidate drops every cache (and the retained LP basis), forcing the next
@@ -69,6 +86,7 @@ func (r *Reuse) Invalidate() {
 	r.mcProb = nil
 	r.mcAux = nil
 	r.mcRow = nil
+	r.eng = nil
 	r.mcSolver.Invalidate()
 }
 

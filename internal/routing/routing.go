@@ -173,7 +173,10 @@ func RouteContext(ctx context.Context, s *placement.Spec, pl *placement.Placemen
 			// whole solve over it. The sink map is shared with the demand
 			// cache, so filter a copy.
 			sinks = cloneSinks(sinks)
-			reach := reachableFrom(s.G, reps)
+			// Reachability is tie-independent, so the engine's cached
+			// trees (replica sets repeat across rounds and hours) give
+			// exactly the set a structural search would.
+			reach := opts.Reuse.Engine().Reach(s.G, reps)
 			// Sorted order keeps the floating-point subtraction sequence
 			// (and hence total's last bits) independent of map iteration.
 			for _, v := range sortedSinks(sinks) {

@@ -3,6 +3,7 @@ package routing
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"jcr/internal/graph"
@@ -237,6 +238,35 @@ func TestRouteRandomizedConsistency(t *testing.T) {
 		}
 		if len(count) != len(s.Requests()) {
 			t.Fatalf("trial %d: served %d of %d requests", trial, len(count), len(s.Requests()))
+		}
+	}
+}
+
+// The engine-backed reach filter must mark exactly the nodes the
+// structural search does — on intact graphs and after link removals,
+// through both a threaded Reuse handle and the nil fallback.
+func TestEngineReachMatchesStructuralSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(10)
+		g := graph.New(n)
+		for e := 0; e < n+rng.Intn(2*n); e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddArc(u, v, float64(1+rng.Intn(3)), 1)
+			}
+		}
+		roots := []graph.NodeID{rng.Intn(n), rng.Intn(n)}
+		want := reachableFrom(g, roots)
+		reuse := NewReuse()
+		for pass := 0; pass < 2; pass++ { // second pass is all cache hits
+			if got := reuse.Engine().Reach(g, roots); !reflect.DeepEqual(want, got) {
+				t.Fatalf("trial %d pass %d: engine reach differs from structural search", trial, pass)
+			}
+		}
+		var nilReuse *Reuse
+		if got := nilReuse.Engine().Reach(g, roots); !reflect.DeepEqual(want, got) {
+			t.Fatalf("trial %d: nil-handle reach differs from structural search", trial)
 		}
 	}
 }

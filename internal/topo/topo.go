@@ -331,7 +331,7 @@ func (n *Network) minHopTree() graph.ShortestTree {
 	for id := 0; id < unit.NumArcs(); id++ {
 		unit.SetArcCost(id, 1)
 	}
-	tree := graph.Dijkstra(unit, n.Origin, nil, nil)
+	tree := graph.TreeOf(unit, n.Origin)
 	// Arc IDs coincide between the clone and the original graph, so the
 	// tree's parent arcs are valid in n.G.
 	return tree

@@ -16,8 +16,11 @@ vet:
 	$(GO) vet ./...
 
 # Repo-specific static analysis (float comparisons, RNG injection,
-# library panics, dropped errors, magic tolerances); see README
-# "Static analysis & invariants".
+# library panics, dropped errors, magic tolerances, map-iteration-order
+# leaks, wall-clock reachability, lock discipline, hot-path allocations);
+# see README "Static analysis & invariants". `go vet` runs first, then
+# the thirteen jcrlint analyzers. CI also emits `-sarif` for inline
+# annotations.
 lint: vet
 	$(GO) run ./cmd/jcrlint ./...
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"jcr/internal/experiments"
 	"jcr/internal/flow"
@@ -28,6 +29,7 @@ import (
 // Monte-Carlo run (the cmd/jcrsim tool exposes the full knobs).
 func benchConfig() *experiments.Config {
 	cfg := experiments.DefaultConfig()
+	cfg.Now = time.Now
 	cfg.MonteCarloRuns = 1
 	cfg.Hours = []int{40}
 	cfg.GPRWindow = 96

@@ -265,6 +265,7 @@ func main() {
 	// (benchmarks would re-run these many times; a single pass is what the
 	// perf trajectory needs).
 	cfg := experiments.DefaultConfig()
+	cfg.Now = time.Now
 	cfg.MonteCarloRuns = *mc
 	for _, id := range []string{"table2", "fig5", "fig6"} {
 		if !want("harness_" + id) {

@@ -1,29 +1,57 @@
-// Command jcrlint is the repository's custom static-analysis pass. It
-// enforces the numerical-correctness and reproducibility invariants that
-// generic linters cannot know about (see README, "Static analysis &
-// invariants"):
+// Command jcrlint is the repository's custom static-analysis pass, built
+// on the in-repo analysis framework in jcr/internal/lint (multichecker-
+// style driver, per-package passes, cross-package facts, CFG dataflow).
+// It enforces the numerical-correctness, reproducibility and concurrency
+// invariants generic linters cannot know about (see README, "Static
+// analysis & invariants"):
 //
-//	float-eq     no ==/!= between floating-point operands outside an
-//	             approximate-equality helper
-//	global-rand  no math/rand global-source functions; library packages
-//	             must use an injected *rand.Rand or jcr/internal/rng
-//	lib-panic    no panic in library packages except tagged
-//	             programmer-error guards
-//	err-drop     no discarded error results from this module's functions
-//	tol-literal  no inline scientific-notation tolerance literals; name
-//	             them as package-level constants
-//	bg-context   no context.Background()/context.TODO() in library
-//	             packages; accept and thread the caller's ctx
-//	go-stmt      no bare go statements outside jcr/internal/par; all
-//	             fan-out goes through the bounded worker pool
+//	float-eq         no ==/!= between floating-point operands outside an
+//	                 approximate-equality helper
+//	global-rand      no math/rand global-source functions; library packages
+//	                 must use an injected *rand.Rand or jcr/internal/rng
+//	lib-panic        no panic in library packages except tagged
+//	                 programmer-error guards
+//	err-drop         no discarded error results from this module's functions
+//	tol-literal      no inline scientific-notation tolerance literals; name
+//	                 them as package-level constants
+//	bg-context       no context.Background()/context.TODO() in library
+//	                 packages; accept and thread the caller's ctx
+//	go-stmt          no bare go statements outside jcr/internal/par; all
+//	                 fan-out goes through the bounded worker pool
+//	lp-ctor          no direct lp.NewProblem outside the LP core
+//	sp-engine        no direct graph.Dijkstra outside jcr/internal/graph
+//	map-order        map iteration order must not reach returned values,
+//	                 appended slices, or emitted output (dataflow + facts)
+//	wall-clock       no time.Now/time.Since/os.Getenv reachable from
+//	                 library packages; clocks and config are injected
+//	lock-discipline  no mutex held across lp/graph kernel calls or channel
+//	                 ops (CFG lockset dataflow); no mixing sync/atomic
+//	                 with plain access
+//	hot-alloc        no allocations or interface boxing inside loops of
+//	                 //jcr:hotpath functions
 //
 // Usage:
 //
-//	go run ./cmd/jcrlint [-disable a,b] [-only a,b] [packages...]
+//	go run ./cmd/jcrlint [flags] [packages...]
 //
 // With no package arguments it analyzes ./internal/... and ./cmd/... .
 // Only non-test Go files are analyzed: tests may legitimately use exact
 // comparisons, ad-hoc RNGs and panics.
+//
+// Output modes (mutually exclusive; default is one text line per finding):
+//
+//	-json    machine-readable findings: a JSON array of
+//	         {file, line, column, analyzer, message} objects (empty array
+//	         when clean), for scripting and editor integration.
+//	-sarif   a SARIF 2.1.0 log with one rule per analyzer, the format
+//	         GitHub code scanning ingests for inline PR annotations (CI
+//	         uploads this from the lint job).
+//
+// Diagnostics go to stdout; the exit status is 1 when there are findings,
+// 2 on usage or load errors, 0 when clean. -timing reports each
+// analyzer's accumulated wall time to stderr after the run (the library
+// never reads the clock itself — this command injects time.Now, the same
+// seam the wall-clock analyzer enforces everywhere else).
 //
 // A finding is suppressed by a directive comment on the same line or the
 // line immediately above:
@@ -31,14 +59,19 @@
 //	//jcrlint:allow <analyzer>[,<analyzer>...]: <reason>
 //
 // The reason is mandatory; a directive without one is itself reported.
+// Suppressing a map-order finding does not stop its fact from tainting
+// callers: a helper that deliberately returns unsorted keys still forces
+// its callers to sort.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"strings"
+	"time"
+
+	"jcr/internal/lint"
 )
 
 func main() {
@@ -49,20 +82,27 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("jcrlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		disable = fs.String("disable", "", "comma-separated analyzers to skip")
-		only    = fs.String("only", "", "comma-separated analyzers to run (default: all)")
-		list    = fs.Bool("list", false, "list analyzers and exit")
+		disable    = fs.String("disable", "", "comma-separated analyzers to skip")
+		only       = fs.String("only", "", "comma-separated analyzers to run (default: all)")
+		list       = fs.Bool("list", false, "list analyzers and exit")
+		jsonOut    = fs.Bool("json", false, "emit findings as a JSON array")
+		sarifOut   = fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
+		timingFlag = fs.Bool("timing", false, "report per-analyzer wall time to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *list {
-		for _, a := range allAnalyzers {
-			fmt.Fprintf(stdout, "%-12s %s\n", a.name, a.doc)
+		for _, a := range lint.Registry() {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
-	selected, err := selectAnalyzers(*only, *disable)
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "jcrlint: -json and -sarif are mutually exclusive")
+		return 2
+	}
+	selected, err := lint.Select(splitNames(*only), splitNames(*disable))
 	if err != nil {
 		fmt.Fprintln(stderr, "jcrlint:", err)
 		return 2
@@ -71,77 +111,48 @@ func run(args []string, stdout, stderr *os.File) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./internal/...", "./cmd/..."}
 	}
-	pkgs, err := loadPackages(patterns)
+	pkgs, err := lint.LoadPackages(patterns)
 	if err != nil {
 		fmt.Fprintln(stderr, "jcrlint:", err)
 		return 2
 	}
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		diags = append(diags, Lint(pkg, selected)...)
+	res := lint.Run(pkgs, selected, lint.Options{Now: time.Now})
+	lint.Relativize(res.Diags)
+	switch {
+	case *jsonOut:
+		err = lint.WriteJSON(stdout, res.Diags)
+	case *sarifOut:
+		err = lint.WriteSARIF(stdout, res.Diags)
+	default:
+		err = lint.WriteText(stdout, res.Diags)
 	}
-	relativize(diags)
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+	if err != nil {
+		fmt.Fprintln(stderr, "jcrlint:", err)
+		return 2
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(stderr, "jcrlint: %d finding(s)\n", len(diags))
+	if *timingFlag {
+		if err := lint.WriteTimings(stderr, res.Timings); err != nil {
+			fmt.Fprintln(stderr, "jcrlint:", err)
+			return 2
+		}
+	}
+	if len(res.Diags) > 0 {
+		fmt.Fprintf(stderr, "jcrlint: %d finding(s)\n", len(res.Diags))
 		return 1
 	}
 	return 0
 }
 
-// relativize rewrites diagnostic file names relative to the working
-// directory for readable output and stable golden files.
-func relativize(diags []Diagnostic) {
-	cwd, err := os.Getwd()
-	if err != nil {
-		return
+// splitNames parses a comma-separated analyzer list.
+func splitNames(csv string) []string {
+	if csv == "" {
+		return nil
 	}
-	for i := range diags {
-		if rel, err := filepath.Rel(cwd, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			diags[i].Pos.Filename = rel
+	var out []string
+	for _, name := range strings.Split(csv, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			out = append(out, name)
 		}
 	}
-}
-
-// selectAnalyzers resolves the -only/-disable flags against the registry.
-func selectAnalyzers(only, disable string) ([]*analyzer, error) {
-	byName := make(map[string]*analyzer, len(allAnalyzers))
-	for _, a := range allAnalyzers {
-		byName[a.name] = a
-	}
-	parse := func(csv string) (map[string]bool, error) {
-		set := map[string]bool{}
-		if csv == "" {
-			return set, nil
-		}
-		for _, name := range strings.Split(csv, ",") {
-			name = strings.TrimSpace(name)
-			if _, ok := byName[name]; !ok {
-				return nil, fmt.Errorf("unknown analyzer %q", name)
-			}
-			set[name] = true
-		}
-		return set, nil
-	}
-	onlySet, err := parse(only)
-	if err != nil {
-		return nil, err
-	}
-	disableSet, err := parse(disable)
-	if err != nil {
-		return nil, err
-	}
-	var out []*analyzer
-	for _, a := range allAnalyzers {
-		if len(onlySet) > 0 && !onlySet[a.name] {
-			continue
-		}
-		if disableSet[a.name] {
-			continue
-		}
-		out = append(out, a)
-	}
-	return out, nil
+	return out
 }

@@ -104,6 +104,7 @@ func runMain(ctx context.Context, stdout io.Writer, list bool, exp string, mc in
 		return nil
 	}
 	cfg := experiments.DefaultConfig()
+	cfg.Now = time.Now // the binary owns the clock; the library only borrows it
 	if mc > 0 {
 		cfg.MonteCarloRuns = mc
 	}

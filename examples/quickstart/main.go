@@ -7,6 +7,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"jcr"
 )
@@ -56,8 +57,18 @@ func main() {
 		}
 	}
 	fmt.Printf("total routing cost under route-to-nearest-replica: %.1f\n", res.Cost)
-	for rq, src := range res.Sources {
-		fmt.Printf("  request (item %d @ node %d) served from node %d\n", rq.Item, rq.Node, src)
+	reqs := make([]jcr.Request, 0, len(res.Sources))
+	for rq := range res.Sources {
+		reqs = append(reqs, rq)
+	}
+	sort.Slice(reqs, func(i, j int) bool {
+		if reqs[i].Item != reqs[j].Item {
+			return reqs[i].Item < reqs[j].Item
+		}
+		return reqs[i].Node < reqs[j].Node
+	})
+	for _, rq := range reqs {
+		fmt.Printf("  request (item %d @ node %d) served from node %d\n", rq.Item, rq.Node, res.Sources[rq])
 	}
 
 	// Compare against serving everything from the origin.

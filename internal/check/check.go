@@ -12,6 +12,7 @@ package check
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"jcr/internal/flow"
 	"jcr/internal/graph"
@@ -137,7 +138,10 @@ func PartialFlow(s *placement.Spec, pl *placement.Placement, paths []placement.S
 		}
 		delete(served, rq)
 	}
-	for rq, u := range unserved {
+	// Iterate sorted so the reported witness (there may be several bad
+	// entries) is the same on every run.
+	for _, rq := range sortedRequests(unserved) {
+		u := unserved[rq]
 		if rq.Item < 0 || rq.Item >= s.NumItems || rq.Node < 0 || rq.Node >= s.G.NumNodes() {
 			return fmt.Errorf("check: unserved entry references request (%d,%d) out of range", rq.Item, rq.Node)
 		}
@@ -145,8 +149,8 @@ func PartialFlow(s *placement.Spec, pl *placement.Placement, paths []placement.S
 			return fmt.Errorf("check: request (%d,%d) declares unserved rate %.9g but has no demand", rq.Item, rq.Node, u)
 		}
 	}
-	for rq, got := range served {
-		if got > RateTol {
+	for _, rq := range sortedRequests(served) {
+		if got := served[rq]; got > RateTol {
 			return fmt.Errorf("check: request (%d,%d) served at rate %.9g but has no demand", rq.Item, rq.Node, got)
 		}
 	}
@@ -190,9 +194,12 @@ func ArcFlow(g *graph.Graph, arcFlow []float64, src graph.NodeID, demand map[gra
 	if len(arcFlow) != g.NumArcs() {
 		return fmt.Errorf("check: arc flow has %d entries for %d arcs", len(arcFlow), g.NumArcs())
 	}
+	// Sum in sorted node order: float addition is order-sensitive in the
+	// last ulp, and map iteration order would make the tolerance itself
+	// nondeterministic.
 	var total float64
-	for _, d := range demand {
-		total += d
+	for _, v := range sortedNodes(demand) {
+		total += demand[v]
 	}
 	tol := FlowTol * (1 + total)
 	for id, f := range arcFlow {
@@ -217,4 +224,30 @@ func ArcFlow(g *graph.Graph, arcFlow []float64, src graph.NodeID, demand map[gra
 		}
 	}
 	return nil
+}
+
+// sortedRequests fixes a deterministic iteration order over a per-request
+// map (by item, then node).
+func sortedRequests(m map[placement.Request]float64) []placement.Request {
+	out := make([]placement.Request, 0, len(m))
+	for rq := range m {
+		out = append(out, rq)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Item != out[j].Item {
+			return out[i].Item < out[j].Item
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// sortedNodes fixes a deterministic iteration order over a per-node map.
+func sortedNodes(m map[graph.NodeID]float64) []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
 }

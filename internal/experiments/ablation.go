@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"strings"
-	"time"
 
 	"jcr/internal/core"
 	"jcr/internal/graph"
@@ -42,12 +41,12 @@ func Ablation(cfg *Config) (string, error) {
 		{"plain pipage", placement.Alg1Options{DisablePolish: true}},
 		{"with polish", placement.Alg1Options{}},
 	} {
-		start := time.Now()
+		lap := cfg.stopwatch()
 		res, err := placement.Alg1WithOptions(unRun.Decision, unRun.Dist, variant.opts)
 		if err != nil {
 			return "", err
 		}
-		elapsed := time.Since(start)
+		elapsed := lap()
 		saving := unRun.Decision.SavingRNR(res.Placement, unRun.Dist, wmax)
 		fmt.Fprintf(&b, "   %-14s %14.6g %14.6g %12.1f\n", variant.name, res.Cost, saving, float64(elapsed.Microseconds())/1000)
 	}
@@ -73,12 +72,12 @@ func Ablation(cfg *Config) (string, error) {
 		{"LP + pipage", placement.PerPathLP},
 		{"greedy", placement.PerPathGreedy},
 	} {
-		start := time.Now()
+		lap := cfg.stopwatch()
 		pl, err := placement.PlacePerPath(run.Decision, paths, variant.method)
 		if err != nil {
 			return "", err
 		}
-		elapsed := time.Since(start)
+		elapsed := lap()
 		fmt.Fprintf(&b, "   %-14s %14.6g %12.1f\n", variant.name,
 			placement.PerPathSaving(run.Decision, paths, pl), float64(elapsed.Microseconds())/1000)
 	}

@@ -6,7 +6,11 @@
 // bench_test.go wraps each one in a benchmark.
 package experiments
 
-import "jcr/internal/demand"
+import (
+	"time"
+
+	"jcr/internal/demand"
+)
 
 // Config carries the evaluation-wide knobs. The zero value is NOT usable;
 // call DefaultConfig.
@@ -48,6 +52,25 @@ type Config struct {
 	// recorded points are replayed in sequential sample order (see
 	// internal/par and samples.go).
 	Workers int
+	// Now supplies the wall-clock readings behind the execution-time
+	// columns (Tables 3-4, the ablation timings). The binary injects it
+	// (cmd/jcrsim and bench_test.go pass time.Now); library code never
+	// reads the clock itself, per the wall-clock lint rule. A nil Now
+	// reports zero elapsed time everywhere, which also makes the rendered
+	// output bit-for-bit deterministic.
+	Now func() time.Time
+}
+
+// stopwatch starts timing against the injected clock and returns the
+// function that reads the elapsed time. With no injected clock every lap
+// reads zero: the timing columns then render as 0, and the output is
+// deterministic.
+func (c *Config) stopwatch() func() time.Duration {
+	if c.Now == nil {
+		return func() time.Duration { return 0 }
+	}
+	start := c.Now()
+	return func() time.Duration { return c.Now().Sub(start) }
 }
 
 // DefaultConfig returns the Section 6 defaults.

@@ -348,6 +348,38 @@ func TestAblationRuns(t *testing.T) {
 	}
 }
 
+// TestRenderedOutputBitForBit pins the determinism contract restored by
+// injecting the clock (Config.Now) instead of calling time.Now in the
+// library: with the default nil Now, two runs of the timing-bearing
+// renderers — the ablation table and both execution-time tables, which
+// all use Config.stopwatch — must produce byte-identical output,
+// parallel workers and all.
+func TestRenderedOutputBitForBit(t *testing.T) {
+	render := func() string {
+		cfg := tinyConfig()
+		abl, err := Ablation(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t3, err := ExecTimes(cfg, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t4, err := ExecTimes(cfg, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return abl + "\n" + t3 + "\n" + t4
+	}
+	first, second := render(), render()
+	if first != second {
+		t.Errorf("rendered output differs between identical runs:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+	if strings.Contains(first, "NaN") {
+		t.Errorf("rendered output contains NaN:\n%s", first)
+	}
+}
+
 func TestZipfSweepShape(t *testing.T) {
 	figs, err := ZipfSweep(tinyConfig())
 	if err != nil {

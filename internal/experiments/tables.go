@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"time"
 
 	"jcr/internal/core"
 	"jcr/internal/msufp"
@@ -169,13 +168,13 @@ func ExecTimes(cfg *Config, fileLevel bool) (string, error) {
 	fmt.Fprintf(&b, "%-14s %-22s %20s\n", "scenario", "algorithm", "avg execution time (s)")
 	for _, r := range rows {
 		const reps = 3
-		start := time.Now()
+		lap := cfg.stopwatch()
 		for rep := 0; rep < reps; rep++ {
 			if err := r.run(); err != nil {
 				return "", fmt.Errorf("%s / %s: %w", r.scenario, r.algorithm, err)
 			}
 		}
-		avg := time.Since(start).Seconds() / reps
+		avg := lap().Seconds() / reps
 		fmt.Fprintf(&b, "%-14s %-22s %20.4f\n", r.scenario, r.algorithm, avg)
 	}
 	return b.String(), nil

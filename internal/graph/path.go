@@ -125,6 +125,8 @@ func (t ShortestTree) PathTo(g *Graph, v NodeID) (Path, bool) {
 // which is what lets the repair engine reproduce trees bit for bit
 // (DESIGN.md §3.10). goal >= 0 stops the run as soon as goal settles (its
 // distance and parent chain are final then); pass -1 for a full tree.
+//
+//jcr:hotpath
 func dijkstraCSR(c *csr, src, goal NodeID, s *scratch, skipArc func(ArcID) bool, skipNode func(NodeID) bool) {
 	sv := int32(src)
 	s.visit(sv)
@@ -162,6 +164,8 @@ func dijkstraCSR(c *csr, src, goal NodeID, s *scratch, skipArc func(ArcID) bool,
 // arrays hoisted out of the loop. Full-tree entry points without
 // predicates (TreeOf, AllPairs, the engine's unmasked cold path) all land
 // here.
+//
+//jcr:hotpath
 func dijkstraCSRPlain(c *csr, src NodeID, s *scratch) {
 	sv := int32(src)
 	s.visit(sv)
@@ -196,6 +200,8 @@ func dijkstraCSRPlain(c *csr, src NodeID, s *scratch) {
 // relaxation, and tie behaviour — only the per-arc indirect calls are gone,
 // which matters when the kernel runs hundreds of times per Yen invocation.
 // banNode[src] must be false (Yen never bans the spur node).
+//
+//jcr:hotpath
 func dijkstraCSRBan(c *csr, src, goal NodeID, s *scratch, banArc, banNode []bool) {
 	sv := int32(src)
 	s.visit(sv)
@@ -236,6 +242,8 @@ func dijkstraCSRBan(c *csr, src, goal NodeID, s *scratch, banArc, banNode []bool
 // bitmask inlined (nil means nothing disabled). Same canonical behaviour as
 // dijkstraCSR; it exists so the engine's cold path and repairs do not pay an
 // indirect call per scanned arc.
+//
+//jcr:hotpath
 func dijkstraCSRMask(c *csr, src NodeID, s *scratch, mask []uint64) {
 	if mask == nil {
 		dijkstraCSRPlain(c, src, s)

@@ -101,6 +101,9 @@ func (s *scratch) heapFix(dist []float64, v int32) {
 	s.siftUp(dist, i)
 }
 
+// siftUp restores heap order above index i.
+//
+//jcr:hotpath
 func (s *scratch) siftUp(dist []float64, i int) {
 	h := s.heap
 	v := h[i]
@@ -118,6 +121,8 @@ func (s *scratch) siftUp(dist []float64, i int) {
 }
 
 // heapPop removes and returns the (dist, node)-least queued node.
+//
+//jcr:hotpath
 func (s *scratch) heapPop(dist []float64) int32 {
 	h := s.heap
 	top := h[0]
@@ -132,6 +137,8 @@ func (s *scratch) heapPop(dist []float64) int32 {
 }
 
 // siftDown places v at index i and restores heap order below it.
+//
+//jcr:hotpath
 func (s *scratch) siftDown(dist []float64, i int, v int32) {
 	h := s.heap
 	n := len(h)

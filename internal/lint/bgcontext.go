@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// BgContextAnalyzer keeps cancellation plumbed end to end: library
+// (non-main) packages must not mint their own root contexts with
+// context.Background() or context.TODO() — doing so detaches the work from
+// the caller's deadline, so a hung solver can no longer be cancelled.
+// Library code accepts a ctx parameter (nil meaning "no cancellation" by
+// this repo's convention) and threads it through; only main packages and
+// tests create roots.
+var BgContextAnalyzer = &Analyzer{
+	Name: "bg-context",
+	Doc:  "no context.Background()/context.TODO() in library packages; thread the caller's ctx",
+	Run:  runBgContext,
+}
+
+func runBgContext(p *Pass) {
+	pkg := p.Pkg
+	if pkg.IsMain {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || selectorPackage(pkg, sel) != "context" {
+				return true
+			}
+			if name := sel.Sel.Name; name == "Background" || name == "TODO" {
+				p.Reportf(call.Pos(), "library package creates a root context with context.%s; accept a ctx parameter (nil = no cancellation) and derive from it", name)
+			}
+			return true
+		})
+	}
+}

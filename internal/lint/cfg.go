@@ -1,0 +1,367 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CFG is the control-flow graph of one function body: basic blocks of
+// AST nodes (statements, plus the condition/tag/range expressions of the
+// control statements that end a block) in execution order. It is what the
+// dataflow analyzers (lock-discipline's lockset analysis) iterate to a
+// fixpoint over; AST-only analyzers never build one.
+//
+// The builder covers the full statement grammar — if/else, for, range,
+// switch, type switch, select, labeled break/continue, goto, fallthrough,
+// defer — with one conservative simplification: a loop with no condition
+// (`for {}`) gets no fall-through exit edge, so code after it is reachable
+// only via break, exactly as in the language.
+type CFG struct {
+	Entry  *Block
+	Blocks []*Block
+}
+
+// Block is one straight-line run of nodes with no internal control flow.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// BuildCFG constructs the control-flow graph of one function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}, labels: map[string]*labelInfo{}}
+	b.cur = b.newBlock()
+	b.cfg.Entry = b.cur
+	b.stmt(body)
+	for _, g := range b.gotos {
+		if li := b.labels[g.label]; li != nil {
+			b.link(g.from, li.block)
+		}
+	}
+	return b.cfg
+}
+
+// ReachableBlocks returns the blocks reachable from the entry, in a
+// deterministic order. Dataflow analyses iterate these; blocks that only
+// exist as construction leftovers (after return/break) are skipped so
+// their uninitialized states never produce reports.
+func (c *CFG) ReachableBlocks() []*Block {
+	seen := make([]bool, len(c.Blocks))
+	var out []*Block
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		out = append(out, b)
+		for _, s := range b.Succs {
+			visit(s)
+		}
+	}
+	if c.Entry != nil {
+		visit(c.Entry)
+	}
+	return out
+}
+
+type labelInfo struct {
+	block         *Block // the labeled statement's block (goto target)
+	breakTarget   *Block // exit of the labeled loop/switch, if any
+	continueBlock *Block // loop head of the labeled loop, if any
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type loopScope struct {
+	label         string
+	breakTarget   *Block
+	continueBlock *Block // nil for switch/select scopes
+}
+
+type cfgBuilder struct {
+	cfg          *CFG
+	cur          *Block
+	scopes       []loopScope
+	labels       map[string]*labelInfo
+	gotos        []pendingGoto
+	pendingLabel string
+	nextCase     *Block // fallthrough target while building a case body
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) link(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// takeLabel consumes the label of an enclosing labeled statement, so the
+// loop/switch being built can register labeled break/continue targets.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) pushScope(s loopScope) { b.scopes = append(b.scopes, s) }
+func (b *cfgBuilder) popScope()             { b.scopes = b.scopes[:len(b.scopes)-1] }
+
+// breakTarget resolves a break statement's destination.
+func (b *cfgBuilder) breakTarget(label string) *Block {
+	if label != "" {
+		if li := b.labels[label]; li != nil {
+			return li.breakTarget
+		}
+		return nil
+	}
+	if len(b.scopes) == 0 {
+		return nil
+	}
+	return b.scopes[len(b.scopes)-1].breakTarget
+}
+
+// continueTarget resolves a continue statement's destination (loops only).
+func (b *cfgBuilder) continueTarget(label string) *Block {
+	if label != "" {
+		if li := b.labels[label]; li != nil {
+			return li.continueBlock
+		}
+		return nil
+	}
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		if b.scopes[i].continueBlock != nil {
+			return b.scopes[i].continueBlock
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		join := b.newBlock()
+		then := b.newBlock()
+		b.link(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		b.link(b.cur, join)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.link(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.link(b.cur, join)
+		} else {
+			b.link(cond, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		exit := b.newBlock()
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		b.link(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.link(head, exit)
+		}
+		b.link(head, body)
+		continueTo := head
+		if post != nil {
+			continueTo = post
+		}
+		if label != "" {
+			b.labels[label].breakTarget = exit
+			b.labels[label].continueBlock = continueTo
+		}
+		b.pushScope(loopScope{label: label, breakTarget: exit, continueBlock: continueTo})
+		b.cur = body
+		b.stmt(s.Body)
+		if post != nil {
+			b.link(b.cur, post)
+			b.cur = post
+			b.add(s.Post)
+		}
+		b.link(b.cur, head)
+		b.popScope()
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.add(s.X)
+		head := b.newBlock()
+		body := b.newBlock()
+		exit := b.newBlock()
+		b.link(b.cur, head)
+		b.link(head, body)
+		b.link(head, exit)
+		if label != "" {
+			b.labels[label].breakTarget = exit
+			b.labels[label].continueBlock = head
+		}
+		b.pushScope(loopScope{label: label, breakTarget: exit, continueBlock: head})
+		b.cur = body
+		b.stmt(s.Body)
+		b.link(b.cur, head)
+		b.popScope()
+		b.cur = exit
+
+	case *ast.SwitchStmt:
+		b.switchLike(s.Init, s.Tag, s.Body)
+
+	case *ast.TypeSwitchStmt:
+		b.switchLike(s.Init, nil, s.Body)
+		// The type-switch assignment itself evaluates once; record it in
+		// the block that preceded the clause fan-out.
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		fanout := b.cur
+		exit := b.newBlock()
+		if label != "" {
+			b.labels[label].breakTarget = exit
+		}
+		b.pushScope(loopScope{label: label, breakTarget: exit})
+		for _, cl := range s.Body.List {
+			comm := cl.(*ast.CommClause)
+			blk := b.newBlock()
+			b.link(fanout, blk)
+			b.cur = blk
+			if comm.Comm != nil {
+				b.stmt(comm.Comm)
+			}
+			for _, st := range comm.Body {
+				b.stmt(st)
+			}
+			b.link(b.cur, exit)
+		}
+		b.popScope()
+		b.cur = exit
+
+	case *ast.LabeledStmt:
+		blk := b.newBlock()
+		b.link(b.cur, blk)
+		b.cur = blk
+		b.labels[s.Label.Name] = &labelInfo{block: blk}
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			b.link(b.cur, b.breakTarget(label))
+		case token.CONTINUE:
+			b.link(b.cur, b.continueTarget(label))
+		case token.GOTO:
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: label})
+		case token.FALLTHROUGH:
+			b.link(b.cur, b.nextCase)
+		}
+		b.cur = b.newBlock() // anything after an unconditional jump is unreachable
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur = b.newBlock()
+
+	case nil:
+		// Absent optional statement.
+
+	default:
+		// Simple statements: declarations, assignments, expression and
+		// send statements, inc/dec, defer, go. Their subtrees contain no
+		// statements with control flow of their own (function literals
+		// get separate CFGs).
+		b.add(s)
+	}
+}
+
+// switchLike builds the clause fan-out shared by switch and type switch.
+func (b *cfgBuilder) switchLike(init ast.Stmt, tag ast.Expr, body *ast.BlockStmt) {
+	label := b.takeLabel()
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	fanout := b.cur
+	exit := b.newBlock()
+	if label != "" {
+		b.labels[label].breakTarget = exit
+	}
+	clauses := body.List
+	// Pre-create body blocks so fallthrough can target the next clause.
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+		b.link(fanout, blocks[i])
+	}
+	hasDefault := false
+	b.pushScope(loopScope{label: label, breakTarget: exit})
+	for i, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		if i+1 < len(blocks) {
+			b.nextCase = blocks[i+1]
+		} else {
+			b.nextCase = nil
+		}
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.nextCase = nil
+		b.link(b.cur, exit)
+	}
+	b.popScope()
+	if !hasDefault {
+		b.link(fanout, exit)
+	}
+	b.cur = exit
+}

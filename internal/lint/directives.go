@@ -1,4 +1,4 @@
-package main
+package lint
 
 import (
 	"strconv"
@@ -35,11 +35,7 @@ func (ds directives) suppresses(d Diagnostic) bool {
 // collectDirectives scans every comment of the package for jcrlint:allow
 // directives. Malformed directives (unknown analyzer or missing reason)
 // are returned as diagnostics so they cannot silently suppress anything.
-func collectDirectives(pkg *Package) (directives, []Diagnostic) {
-	known := make(map[string]bool, len(allAnalyzers))
-	for _, a := range allAnalyzers {
-		known[a.name] = true
-	}
+func collectDirectives(pkg *Package, known map[string]bool) (directives, []Diagnostic) {
 	ds := directives{}
 	var bad []Diagnostic
 	for _, f := range pkg.Files {

@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"sort"
+	"time"
+)
+
+// Timing is one analyzer's wall time summed over all analyzed packages.
+type Timing struct {
+	Analyzer string
+	Elapsed  time.Duration
+}
+
+// Result is one driver run's findings plus per-analyzer timings (all zero
+// when Options.Now is nil).
+type Result struct {
+	Diags   []Diagnostic
+	Timings []Timing
+}
+
+// Options configure a driver run.
+type Options struct {
+	// Now is the clock used for per-analyzer timing. The framework is
+	// library code, so it follows the repo's own wall-clock rule: the
+	// clock is injected by the command (cmd/jcrlint passes time.Now) and
+	// nil means "no timing", not "read the wall clock ourselves".
+	Now func() time.Time
+}
+
+// Run lints the given packages — which must be in dependency order, as
+// LoadPackages returns them — with the selected analyzers. Every analyzer
+// runs on every package; facts exported while analyzing a package are
+// visible to the same analyzer on all later (importing) packages.
+// Suppression directives apply to diagnostics only, never to facts.
+func Run(pkgs []*Package, analyzers []*Analyzer, opts Options) *Result {
+	known := make(map[string]bool)
+	for _, a := range Registry() {
+		known[a.Name] = true
+	}
+	store := NewFactStore()
+	elapsed := make(map[string]time.Duration, len(analyzers))
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		dirs, malformed := collectDirectives(pkg, known)
+		diags = append(diags, malformed...)
+		for _, a := range analyzers {
+			pass := &Pass{Pkg: pkg, Analyzer: a, store: store}
+			var start time.Time
+			if opts.Now != nil {
+				start = opts.Now()
+			}
+			a.Run(pass)
+			if opts.Now != nil {
+				elapsed[a.Name] += opts.Now().Sub(start)
+			}
+			for _, d := range pass.diags {
+				if dirs.suppresses(d) {
+					continue
+				}
+				diags = append(diags, d)
+			}
+		}
+	}
+	sortDiagnostics(diags)
+	res := &Result{Diags: diags}
+	for _, a := range analyzers {
+		res.Timings = append(res.Timings, Timing{Analyzer: a.Name, Elapsed: elapsed[a.Name]})
+	}
+	return res
+}
+
+// Select resolves -only/-disable style analyzer name lists against the
+// registry, preserving registry order.
+func Select(only, disable []string) ([]*Analyzer, error) {
+	byName := make(map[string]*Analyzer)
+	for _, a := range Registry() {
+		byName[a.Name] = a
+	}
+	toSet := func(names []string) (map[string]bool, error) {
+		set := map[string]bool{}
+		for _, name := range names {
+			if _, ok := byName[name]; !ok {
+				return nil, &UnknownAnalyzerError{Name: name}
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	onlySet, err := toSet(only)
+	if err != nil {
+		return nil, err
+	}
+	disableSet, err := toSet(disable)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Analyzer
+	for _, a := range Registry() {
+		if len(onlySet) > 0 && !onlySet[a.Name] {
+			continue
+		}
+		if disableSet[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// UnknownAnalyzerError reports a name that matches no registered analyzer.
+type UnknownAnalyzerError struct{ Name string }
+
+func (e *UnknownAnalyzerError) Error() string {
+	return "unknown analyzer " + `"` + e.Name + `"`
+}
+
+// sortDiagnostics orders findings by position then analyzer for stable
+// output and golden files.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

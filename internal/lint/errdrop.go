@@ -1,10 +1,8 @@
-package main
+package lint
 
 import (
-	"fmt"
 	"go/ast"
 	"go/types"
-	"strings"
 )
 
 // modulePath is the import-path prefix identifying this module's own
@@ -12,18 +10,20 @@ import (
 // controls the contract that errors are meaningful and must be handled.
 const modulePath = "jcr"
 
-// runErrDrop flags discarded error results from calls to this module's own
-// functions: a call used as a bare statement (also behind go/defer) whose
-// signature returns an error, or an assignment that puts the error result
-// into the blank identifier.
-func runErrDrop(pkg *Package) []Diagnostic {
-	var diags []Diagnostic
+// ErrDropAnalyzer flags discarded error results from calls to this
+// module's own functions: a call used as a bare statement (also behind
+// go/defer) whose signature returns an error, or an assignment that puts
+// the error result into the blank identifier.
+var ErrDropAnalyzer = &Analyzer{
+	Name: "err-drop",
+	Doc:  "no discarded error results from this module's own functions",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(p *Pass) {
+	pkg := p.Pkg
 	report := func(call *ast.CallExpr, how string) {
-		diags = append(diags, Diagnostic{
-			Pos:      pkg.Fset.Position(call.Pos()),
-			Analyzer: "err-drop",
-			Message:  fmt.Sprintf("%s error result of %s; handle it or document why it cannot fail", how, callName(call)),
-		})
+		p.Reportf(call.Pos(), "%s error result of %s; handle it or document why it cannot fail", how, callName(call))
 	}
 	for _, f := range pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -59,7 +59,6 @@ func runErrDrop(pkg *Package) []Diagnostic {
 			return true
 		})
 	}
-	return diags
 }
 
 // dropsModuleError reports whether the call returns only an error (or an
@@ -73,12 +72,11 @@ func dropsModuleError(pkg *Package, call *ast.CallExpr) bool {
 // to one of this module's functions, and whether the callee is module-own.
 // The index is -1 when the callee returns no error.
 func moduleErrorIndex(pkg *Package, call *ast.CallExpr) (int, bool) {
-	callee := calleeObject(pkg, call)
+	callee := calleeFunc(pkg, call)
 	if callee == nil || callee.Pkg() == nil {
 		return -1, false
 	}
-	path := callee.Pkg().Path()
-	if path != modulePath && !strings.HasPrefix(path, modulePath+"/") {
+	if !isModulePath(callee.Pkg().Path()) {
 		return -1, false
 	}
 	sig, ok := callee.Type().(*types.Signature)
@@ -93,28 +91,4 @@ func moduleErrorIndex(pkg *Package, call *ast.CallExpr) (int, bool) {
 		}
 	}
 	return -1, true
-}
-
-// calleeObject resolves the function or method object a call invokes, or
-// nil for conversions, builtins, and indirect calls through variables.
-func calleeObject(pkg *Package, call *ast.CallExpr) types.Object {
-	var id *ast.Ident
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		id = fun
-	case *ast.SelectorExpr:
-		id = fun.Sel
-	default:
-		return nil
-	}
-	obj := pkg.Info.Uses[id]
-	if _, ok := obj.(*types.Func); !ok {
-		return nil
-	}
-	return obj
-}
-
-// callName renders a readable callee name for diagnostics.
-func callName(call *ast.CallExpr) string {
-	return types.ExprString(call.Fun)
 }

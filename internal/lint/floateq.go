@@ -1,7 +1,6 @@
-package main
+package lint
 
 import (
-	"fmt"
 	"go/ast"
 	"go/constant"
 	"go/token"
@@ -15,10 +14,10 @@ import (
 // tolerance check.
 var approxHelperRE = regexp.MustCompile(`(?i)(approx|almost)`)
 
-// runFloatEq flags == and != between floating-point operands. Exact float
-// equality is the classic silent-wrong-answer bug in simplex pivoting and
-// rounding code: values that are mathematically equal differ in the last
-// ulp after different operation orders. Exemptions:
+// FloatEqAnalyzer flags == and != between floating-point operands. Exact
+// float equality is the classic silent-wrong-answer bug in simplex
+// pivoting and rounding code: values that are mathematically equal differ
+// in the last ulp after different operation orders. Exemptions:
 //
 //   - functions whose name matches approxHelperRE (the helpers themselves),
 //   - the NaN test `x != x` / `x == x` on an identical expression,
@@ -28,45 +27,40 @@ var approxHelperRE = regexp.MustCompile(`(?i)(approx|almost)`)
 //     untouched-value / sparsity sentinel. The bug class is comparing two
 //     computed values, which agree mathematically but differ in the last
 //     ulp after different operation orders.
-func runFloatEq(pkg *Package) []Diagnostic {
-	var diags []Diagnostic
-	for _, f := range pkg.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if approxHelperRE.MatchString(fd.Name.Name) {
-				continue
-			}
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				be, ok := n.(*ast.BinaryExpr)
-				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
-					return true
-				}
-				if !isFloat(pkg, be.X) && !isFloat(pkg, be.Y) {
-					return true
-				}
-				if isMathInfCall(pkg, be.X) || isMathInfCall(pkg, be.Y) {
-					return true
-				}
-				if isZeroConst(pkg, be.X) || isZeroConst(pkg, be.Y) {
-					return true
-				}
-				if types.ExprString(be.X) == types.ExprString(be.Y) {
-					return true // NaN idiom
-				}
-				diags = append(diags, Diagnostic{
-					Pos:      pkg.Fset.Position(be.OpPos),
-					Analyzer: "float-eq",
-					Message: fmt.Sprintf("exact float comparison %s %s %s; use an approximate-equality helper with a named tolerance",
-						types.ExprString(be.X), be.Op, types.ExprString(be.Y)),
-				})
-				return true
-			})
+var FloatEqAnalyzer = &Analyzer{
+	Name: "float-eq",
+	Doc:  "no ==/!= between floating-point operands outside approximate-equality helpers",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	pkg := p.Pkg
+	for _, fd := range funcDecls(pkg) {
+		if approxHelperRE.MatchString(fd.Name.Name) {
+			continue
 		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pkg, be.X) && !isFloat(pkg, be.Y) {
+				return true
+			}
+			if isMathInfCall(pkg, be.X) || isMathInfCall(pkg, be.Y) {
+				return true
+			}
+			if isZeroConst(pkg, be.X) || isZeroConst(pkg, be.Y) {
+				return true
+			}
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true // NaN idiom
+			}
+			p.Reportf(be.OpPos, "exact float comparison %s %s %s; use an approximate-equality helper with a named tolerance",
+				types.ExprString(be.X), be.Op, types.ExprString(be.Y))
+			return true
+		})
 	}
-	return diags
 }
 
 // isFloat reports whether the expression has floating-point type.
@@ -103,18 +97,4 @@ func isMathInfCall(pkg *Package, e ast.Expr) bool {
 		return false
 	}
 	return selectorPackage(pkg, sel) == "math"
-}
-
-// selectorPackage returns the import path of sel's receiver when it is a
-// package qualifier (e.g. "math" in math.Inf), and "" otherwise.
-func selectorPackage(pkg *Package, sel *ast.SelectorExpr) string {
-	id, ok := sel.X.(*ast.Ident)
-	if !ok {
-		return ""
-	}
-	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
-	if !ok {
-		return ""
-	}
-	return pn.Imported().Path()
 }

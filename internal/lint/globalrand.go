@@ -1,7 +1,6 @@
-package main
+package lint
 
 import (
-	"fmt"
 	"go/ast"
 	"strings"
 )
@@ -19,7 +18,7 @@ var (
 	injectedConstructors   = map[string]bool{"NewZipf": true}
 )
 
-// runGlobalRand enforces seed reproducibility:
+// GlobalRandAnalyzer enforces seed reproducibility:
 //
 //  1. Calls to math/rand package-level functions that use the implicit
 //     global source (rand.Float64, rand.Intn, rand.Shuffle, ...) are
@@ -29,11 +28,17 @@ var (
 //     forbidden outside jcr/internal/rng: a library that builds its own
 //     generator hides the seed from the caller. Accept an injected
 //     *rand.Rand, or build one from an explicit seed via internal/rng.
-func runGlobalRand(pkg *Package) []Diagnostic {
+var GlobalRandAnalyzer = &Analyzer{
+	Name: "global-rand",
+	Doc:  "no math/rand global-source functions; library RNGs must be injected or built by jcr/internal/rng",
+	Run:  runGlobalRand,
+}
+
+func runGlobalRand(p *Pass) {
+	pkg := p.Pkg
 	if pkg.Path == rngPackage {
-		return nil
+		return
 	}
-	var diags []Diagnostic
 	for _, f := range pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -56,24 +61,14 @@ func runGlobalRand(pkg *Package) []Diagnostic {
 				if pkg.IsMain {
 					return true // main packages may seed their own RNG
 				}
-				diags = append(diags, Diagnostic{
-					Pos:      pkg.Fset.Position(call.Pos()),
-					Analyzer: "global-rand",
-					Message: fmt.Sprintf("library package constructs its own RNG with rand.%s; accept an injected *rand.Rand or use %s with an explicit seed",
-						name, rngPackage),
-				})
+				p.Reportf(call.Pos(), "library package constructs its own RNG with rand.%s; accept an injected *rand.Rand or use %s with an explicit seed",
+					name, rngPackage)
 			case strings.ToUpper(name[:1]) == name[:1]:
 				// Any other exported math/rand function operates on the
 				// global source.
-				diags = append(diags, Diagnostic{
-					Pos:      pkg.Fset.Position(call.Pos()),
-					Analyzer: "global-rand",
-					Message: fmt.Sprintf("rand.%s uses the global math/rand source; draw from an injected *rand.Rand instead",
-						name),
-				})
+				p.Reportf(call.Pos(), "rand.%s uses the global math/rand source; draw from an injected *rand.Rand instead", name)
 			}
 			return true
 		})
 	}
-	return diags
 }

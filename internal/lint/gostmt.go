@@ -1,0 +1,37 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// GoStmtAnalyzer keeps all concurrency behind the bounded worker pool: a
+// bare `go` statement spawns an unbounded, unsupervised goroutine whose
+// panics crash the process and whose completion nothing awaits, and ad-hoc
+// fan-out is exactly how nondeterministic merge orders leak into results.
+// Library and command code must route parallelism through jcr/internal/par
+// (par.Do / par.Map), which bounds the width, propagates the lowest-index
+// error, re-raises panics on the caller, and merges results in
+// deterministic index order. Only internal/par itself may use `go`.
+var GoStmtAnalyzer = &Analyzer{
+	Name: "go-stmt",
+	Doc:  "no bare go statements outside jcr/internal/par; fan-out goes through the worker pool",
+	Run:  runGoStmt,
+}
+
+func runGoStmt(p *Pass) {
+	pkg := p.Pkg
+	if pkg.Path == "jcr/internal/par" || strings.HasSuffix(pkg.Path, "/internal/par") {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			p.Reportf(stmt.Pos(), "bare go statement outside jcr/internal/par; route fan-out through the par worker pool (par.Do/par.Map) so width, errors and merge order stay bounded and deterministic")
+			return true
+		})
+	}
+}

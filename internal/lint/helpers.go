@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// selectorPackage returns the import path of sel's receiver when it is a
+// package qualifier (e.g. "math" in math.Inf), and "" otherwise.
+func selectorPackage(pkg *Package, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// calleeFunc resolves the function or method object a call invokes, or
+// nil for conversions, builtins, and indirect calls through variables.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// callName renders a readable callee name for diagnostics.
+func callName(call *ast.CallExpr) string {
+	return types.ExprString(call.Fun)
+}
+
+// exprObject resolves the object an identifier or field selector refers
+// to, unwrapping parens; nil for anything more complex.
+func exprObject(pkg *Package, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pkg.Info.Uses[e]; obj != nil {
+			return obj
+		}
+		return pkg.Info.Defs[e]
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[e]; ok {
+			return sel.Obj()
+		}
+		return pkg.Info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// funcDecls yields every function declaration with a body in the package.
+func funcDecls(pkg *Package) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// isModulePath reports whether path is this module or one of its packages.
+func isModulePath(path string) bool {
+	return path == modulePath || len(path) > len(modulePath) && path[:len(modulePath)+1] == modulePath+"/"
+}

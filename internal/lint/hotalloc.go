@@ -1,0 +1,227 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hotpathDirective marks a function whose loops are allocation-free hot
+// paths: the CSR shortest-path kernels, the simplex pivot loop, the par
+// worker bodies. The annotation contract (DESIGN.md): put //jcr:hotpath in
+// the doc comment of the function that CONTAINS the hot loops; the
+// analyzer then reports every allocation and interface boxing inside those
+// loops. One-time setup before the loops is not flagged; per-worker or
+// amortized allocations that are deliberate carry a jcrlint:allow
+// directive with the reason.
+const hotpathDirective = "//jcr:hotpath"
+
+// HotAllocAnalyzer reports allocation sources and interface boxing inside
+// the loops of //jcr:hotpath-annotated functions:
+//
+//   - make/new calls, slice/map/pointer composite literals,
+//   - append (amortized growth; pre-size or reuse pooled scratch),
+//   - string concatenation and fmt formatting,
+//   - function literals (closure allocation),
+//   - implicit conversion of a concrete value to an interface parameter,
+//     assignment target, or conversion type (boxing allocates and the
+//     dynamic dispatch defeats inlining).
+var HotAllocAnalyzer = &Analyzer{
+	Name: "hot-alloc",
+	Doc:  "no allocations or interface boxing inside loops of //jcr:hotpath functions; reuse pooled scratch",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(p *Pass) {
+	for _, fd := range funcDecls(p.Pkg) {
+		if !isHotpath(fd) {
+			continue
+		}
+		reported := map[token.Pos]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				checkHotLoop(p, n.Body, n.Cond, n.Post, reported)
+			case *ast.RangeStmt:
+				checkHotLoop(p, n.Body, nil, nil, reported)
+			}
+			return true
+		})
+	}
+}
+
+// isHotpath reports whether the function's doc comment carries the
+// //jcr:hotpath directive.
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, hotpathDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotLoop reports the allocation sources inside one loop's
+// per-iteration parts. Nested loops are re-walked by the outer Inspect;
+// the reported set deduplicates.
+func checkHotLoop(p *Pass, body *ast.BlockStmt, cond, post ast.Node, reported map[token.Pos]bool) {
+	report := func(pos token.Pos, format string, args ...any) {
+		if reported[pos] {
+			return
+		}
+		reported[pos] = true
+		p.Reportf(pos, format, args...)
+	}
+	check := func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.CallExpr:
+				checkHotCall(p, m, report)
+			case *ast.FuncLit:
+				report(m.Pos(), "closure allocated in hot loop; hoist the function value out of the loop")
+				return false // the closure body runs when called, not per iteration
+			case *ast.CompositeLit:
+				if tv, ok := p.Pkg.Info.Types[m]; ok && tv.Type != nil {
+					switch tv.Type.Underlying().(type) {
+					case *types.Slice, *types.Map:
+						report(m.Pos(), "%s literal allocated in hot loop; reuse pooled scratch", compositeKind(p.Pkg, m))
+					}
+				}
+			case *ast.UnaryExpr:
+				if m.Op == token.AND {
+					if _, ok := ast.Unparen(m.X).(*ast.CompositeLit); ok {
+						report(m.Pos(), "heap-allocated composite literal (&T{...}) in hot loop; reuse pooled scratch")
+					}
+				}
+			case *ast.BinaryExpr:
+				if m.Op == token.ADD && isString(p.Pkg, m.X) {
+					report(m.Pos(), "string concatenation in hot loop allocates; use indices or a pre-grown buffer outside the loop")
+				}
+			case *ast.AssignStmt:
+				checkHotBoxingAssign(p, m, report)
+			}
+			return true
+		})
+	}
+	check(cond)
+	check(post)
+	check(body)
+}
+
+// checkHotCall reports allocating calls and interface boxing at call
+// arguments.
+func checkHotCall(p *Pass, call *ast.CallExpr, report func(token.Pos, string, ...any)) {
+	pkg := p.Pkg
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, builtin := pkg.Info.Uses[id].(*types.Builtin); builtin {
+			switch id.Name {
+			case "make":
+				report(call.Pos(), "make in hot loop allocates; hoist the buffer and reuse pooled scratch")
+			case "new":
+				report(call.Pos(), "new in hot loop allocates; reuse pooled scratch")
+			case "append":
+				report(call.Pos(), "append in hot loop may grow the backing array; pre-size outside the loop or reuse pooled scratch")
+			}
+			return
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if selectorPackage(pkg, sel) == "fmt" {
+			report(call.Pos(), "fmt.%s in hot loop allocates (boxing + formatting); move formatting out of the hot path", sel.Sel.Name)
+			return
+		}
+	}
+	tv, ok := pkg.Info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		// Conversion: T(x) with T interface boxes x.
+		if ok && types.IsInterface(tv.Type) {
+			report(call.Pos(), "conversion to interface in hot loop boxes the value; keep it concrete")
+		}
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			st, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = st.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if boxesInto(pkg, arg, pt) {
+			report(arg.Pos(), "argument %s boxes into interface parameter of %s in hot loop; use a concrete-typed helper", types.ExprString(arg), callName(call))
+		}
+	}
+}
+
+// checkHotBoxingAssign reports assignments that box a concrete value into
+// an interface-typed variable.
+func checkHotBoxingAssign(p *Pass, as *ast.AssignStmt, report func(token.Pos, string, ...any)) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i := range as.Lhs {
+		lt, ok := p.Pkg.Info.Types[as.Lhs[i]]
+		if !ok || lt.Type == nil {
+			continue
+		}
+		if boxesInto(p.Pkg, as.Rhs[i], lt.Type) {
+			report(as.Rhs[i].Pos(), "assignment boxes %s into interface in hot loop; keep the variable concrete", types.ExprString(as.Rhs[i]))
+		}
+	}
+}
+
+// boxesInto reports whether assigning e to a target of type t converts a
+// concrete value to an interface (an allocation unless the value is
+// pointer-shaped and escapes anyway).
+func boxesInto(pkg *Package, e ast.Expr, t types.Type) bool {
+	if t == nil || !types.IsInterface(t) {
+		return false
+	}
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.IsNil() || types.IsInterface(tv.Type) {
+		return false
+	}
+	return true
+}
+
+func compositeKind(pkg *Package, lit *ast.CompositeLit) string {
+	if tv, ok := pkg.Info.Types[lit]; ok && tv.Type != nil {
+		switch tv.Type.Underlying().(type) {
+		case *types.Slice:
+			return "slice"
+		case *types.Map:
+			return "map"
+		}
+	}
+	return "composite"
+}
+
+func isString(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LibPanicAnalyzer flags panic calls in library (non-main) packages. A
+// solver library must report bad input as an error the caller can handle;
+// a panic is acceptable only as a guard against programmer error
+// (corrupted internal state, statically-impossible conditions) and must
+// then carry a `//jcrlint:allow lib-panic: <reason>` directive so every
+// remaining panic is deliberate and documented.
+var LibPanicAnalyzer = &Analyzer{
+	Name: "lib-panic",
+	Doc:  "no panic in library packages except tagged programmer-error guards",
+	Run:  runLibPanic,
+}
+
+func runLibPanic(p *Pass) {
+	pkg := p.Pkg
+	if pkg.IsMain {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, ok := pkg.Info.Uses[id].(*types.Builtin); !ok {
+				return true // shadowed identifier, not the builtin
+			}
+			p.Reportf(call.Pos(), "panic in library package; return an error, or tag a programmer-error guard with //jcrlint:allow lib-panic: <reason>")
+			return true
+		})
+	}
+}

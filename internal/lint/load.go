@@ -1,4 +1,4 @@
-package main
+package lint
 
 import (
 	"bytes"
@@ -14,36 +14,42 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"strings"
 )
 
 // Package is one type-checked package under analysis.
 type Package struct {
-	Path   string // import path
-	Name   string // package name ("main" for commands)
-	Dir    string
-	Fset   *token.FileSet
-	Files  []*ast.File
-	Types  *types.Package
-	Info   *types.Info
-	IsMain bool
+	Path    string // import path
+	Name    string // package name ("main" for commands)
+	Dir     string
+	Imports []string // import paths, as listed by the go tool
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	IsMain  bool
 }
 
-// listedPackage is the subset of `go list -json` output jcrlint needs.
+// listedPackage is the subset of `go list -json` output the loader needs.
 type listedPackage struct {
 	ImportPath string
 	Name       string
 	Dir        string
 	Standard   bool
 	GoFiles    []string
+	Imports    []string
 	Export     string
 	Module     *struct{ Path string }
 }
 
-// loadPackages expands the patterns with the go tool, parses each matched
+// LoadPackages expands the patterns with the go tool, parses each matched
 // package's non-test sources, and type-checks them against compiler export
 // data for their dependencies. It needs no tooling beyond the standard
-// library and the go command itself.
-func loadPackages(patterns []string) ([]*Package, error) {
+// library and the go command itself. The result is in dependency order
+// (imported before importer), which is what lets fact-producing analyzers
+// see a helper's facts before its callers are analyzed; ties are broken by
+// import path so the order is deterministic.
+func LoadPackages(patterns []string) ([]*Package, error) {
 	// One `go list` walk resolves the target set and the export data of
 	// every dependency (stdlib included).
 	all, err := goList(append([]string{"-deps", "-export"}, patterns...))
@@ -70,19 +76,55 @@ func loadPackages(patterns []string) ([]*Package, error) {
 
 	fset := token.NewFileSet()
 	imp := importer.ForCompiler(fset, "gc", lookup)
-	var out []*Package
+	var module []*listedPackage
 	for _, lp := range targets {
 		if lp.Standard || lp.Module == nil {
 			continue // only this module's packages are analyzed
 		}
+		module = append(module, lp)
+	}
+	var out []*Package
+	for _, lp := range topoOrder(module) {
 		pkg, err := checkPackage(fset, imp, lp)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, pkg)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return out, nil
+}
+
+// topoOrder sorts the target packages so every package follows the targets
+// it imports. Cycles cannot occur in valid Go; the traversal is seeded in
+// sorted path order so the result is deterministic.
+func topoOrder(pkgs []*listedPackage) []*listedPackage {
+	byPath := make(map[string]*listedPackage, len(pkgs))
+	paths := make([]string, 0, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+		paths = append(paths, p.ImportPath)
+	}
+	sort.Strings(paths)
+	var (
+		out  []*listedPackage
+		done = make(map[string]bool, len(pkgs))
+	)
+	var visit func(path string)
+	visit = func(path string) {
+		p, ok := byPath[path]
+		if !ok || done[path] {
+			return
+		}
+		done[path] = true
+		for _, imp := range p.Imports {
+			visit(imp)
+		}
+		out = append(out, p)
+	}
+	for _, path := range paths {
+		visit(path)
+	}
+	return out
 }
 
 // checkPackage parses and type-checks one package from source.
@@ -96,9 +138,11 @@ func checkPackage(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*
 		files = append(files, f)
 	}
 	info := &types.Info{
-		Types: make(map[ast.Expr]types.TypeAndValue),
-		Defs:  make(map[*ast.Ident]types.Object),
-		Uses:  make(map[*ast.Ident]types.Object),
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
 	}
 	conf := types.Config{Importer: imp}
 	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
@@ -106,21 +150,22 @@ func checkPackage(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*
 		return nil, fmt.Errorf("jcrlint: type-checking %s: %w", lp.ImportPath, err)
 	}
 	return &Package{
-		Path:   lp.ImportPath,
-		Name:   lp.Name,
-		Dir:    lp.Dir,
-		Fset:   fset,
-		Files:  files,
-		Types:  tpkg,
-		Info:   info,
-		IsMain: lp.Name == "main",
+		Path:    lp.ImportPath,
+		Name:    lp.Name,
+		Dir:     lp.Dir,
+		Imports: lp.Imports,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+		IsMain:  lp.Name == "main",
 	}, nil
 }
 
 // goList runs `go list -json` with the given extra arguments and decodes
 // the package stream.
 func goList(args []string) ([]*listedPackage, error) {
-	cmd := exec.Command("go", append([]string{"list", "-json=ImportPath,Name,Dir,Standard,GoFiles,Export,Module"}, args...)...)
+	cmd := exec.Command("go", append([]string{"list", "-json=ImportPath,Name,Dir,Standard,GoFiles,Imports,Export,Module"}, args...)...)
 	var stdout, stderr bytes.Buffer
 	cmd.Stdout = &stdout
 	cmd.Stderr = &stderr
@@ -139,4 +184,18 @@ func goList(args []string) ([]*listedPackage, error) {
 		pkgs = append(pkgs, &p)
 	}
 	return pkgs, nil
+}
+
+// Relativize rewrites diagnostic file names relative to the working
+// directory for readable output and stable golden files.
+func Relativize(diags []Diagnostic) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return
+	}
+	for i := range diags {
+		if rel, err := filepath.Rel(cwd, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].Pos.Filename = rel
+		}
+	}
 }

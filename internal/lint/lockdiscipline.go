@@ -1,0 +1,330 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LockDisciplineAnalyzer machine-checks the two concurrency preconditions
+// for the zero-lock read path the serving plane will rely on:
+//
+//  1. No mutex may be held across a call into the internal/lp or
+//     internal/graph kernels, or across a channel operation. Kernel
+//     solves take milliseconds and channel ops block indefinitely;
+//     either under a lock turns the lock into a global stall point. The
+//     check is a forward must-hold lockset dataflow over the function's
+//     CFG: Lock()/RLock() gen, Unlock()/RUnlock() kill, intersection at
+//     merges, so only definitely-held locks report (no false positives
+//     from one branch unlocking early). A deferred Unlock keeps the lock
+//     held for the rest of the function, which is exactly what it does.
+//
+//  2. A value accessed through sync/atomic functions must never also be
+//     accessed with plain loads/stores: the mix silently loses the
+//     atomicity on the plain side. Typed atomics (atomic.Int64 & co.)
+//     make the mix impossible and are the preferred fix.
+var LockDisciplineAnalyzer = &Analyzer{
+	Name: "lock-discipline",
+	Doc:  "no mutex held across lp/graph kernel calls or channel ops; no mixing sync/atomic with plain access",
+	Run:  runLockDiscipline,
+}
+
+// kernelPackages are the compute cores a held lock must not wait on.
+var kernelPackages = []string{"jcr/internal/lp", "jcr/internal/graph"}
+
+func runLockDiscipline(p *Pass) {
+	inKernel := false
+	for _, kp := range kernelPackages {
+		if p.Pkg.Path == kp {
+			inKernel = true // kernels may lock around their own internals
+		}
+	}
+	for _, fd := range funcDecls(p.Pkg) {
+		checkLocksets(p, fd, inKernel)
+	}
+	checkAtomicMixing(p)
+}
+
+// lockset is the set of definitely-held mutexes, keyed by the receiver
+// expression's source text ("mu", "s.mu").
+type lockset map[string]bool
+
+func (s lockset) clone() lockset {
+	c := make(lockset, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+// intersect keeps only locks held in both states; reports whether s
+// changed. nil means "not yet computed" (top), distinct from empty.
+func intersect(a, b lockset) lockset {
+	out := lockset{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func equalSets(a, b lockset) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s lockset) names() string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ", ")
+}
+
+// checkLocksets runs the forward lockset dataflow over fd's CFG and
+// reports kernel calls and channel operations under a definitely-held
+// lock.
+func checkLocksets(p *Pass, fd *ast.FuncDecl, inKernel bool) {
+	// Cheap pre-filter: no Lock call, no analysis.
+	hasLock := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sel, recv := lockMethod(p.Pkg, n); sel != nil && (recv == "Lock" || recv == "RLock") {
+			hasLock = true
+		}
+		return !hasLock
+	})
+	if !hasLock {
+		return
+	}
+
+	cfg := BuildCFG(fd.Body)
+	blocks := cfg.ReachableBlocks()
+	chanRangeOperands := collectChanRangeOperands(p.Pkg, fd.Body)
+
+	in := make(map[*Block]lockset, len(blocks))
+	in[cfg.Entry] = lockset{}
+	work := []*Block{cfg.Entry}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		out := transferBlock(p, b, in[b].clone(), chanRangeOperands, inKernel, nil)
+		for _, succ := range b.Succs {
+			prev, seen := in[succ]
+			var next lockset
+			if !seen {
+				next = out.clone()
+			} else {
+				next = intersect(prev, out)
+			}
+			if !seen || !equalSets(prev, next) {
+				in[succ] = next
+				work = append(work, succ)
+			}
+		}
+	}
+	// Stabilized: one reporting pass over reachable blocks.
+	reported := map[token.Pos]bool{}
+	for _, b := range blocks {
+		state, ok := in[b]
+		if !ok {
+			continue
+		}
+		transferBlock(p, b, state.clone(), chanRangeOperands, inKernel, reported)
+	}
+}
+
+// transferBlock applies the block's nodes to the lockset; when reported is
+// non-nil it also emits findings for kernel calls / channel ops under a
+// held lock.
+func transferBlock(p *Pass, b *Block, state lockset, chanRanges map[ast.Node]bool, inKernel bool, reported map[token.Pos]bool) lockset {
+	report := func(pos token.Pos, format string, args ...any) {
+		if reported == nil || reported[pos] {
+			return
+		}
+		reported[pos] = true
+		p.Reportf(pos, format, args...)
+	}
+	for _, n := range b.Nodes {
+		if chanRanges[n] && len(state) > 0 {
+			report(n.Pos(), "range over channel with mutex %s held; receive outside the critical section", state.names())
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.DeferStmt:
+				// A deferred Unlock runs at return; the lock stays held
+				// for the rest of the function. A deferred kernel call
+				// runs outside our per-statement order; skip the subtree.
+				return false
+			case *ast.FuncLit:
+				// A closure's body executes when called, not here.
+				return false
+			case *ast.SendStmt:
+				if len(state) > 0 {
+					report(m.Pos(), "channel send with mutex %s held; send outside the critical section", state.names())
+				}
+			case *ast.UnaryExpr:
+				if m.Op == token.ARROW && len(state) > 0 {
+					report(m.Pos(), "channel receive with mutex %s held; receive outside the critical section", state.names())
+				}
+			case *ast.CallExpr:
+				if sel, name := lockMethod(p.Pkg, m); sel != nil {
+					key := types.ExprString(sel.X)
+					switch name {
+					case "Lock", "RLock":
+						state[key] = true
+					case "Unlock", "RUnlock":
+						delete(state, key)
+					}
+					return true
+				}
+				if !inKernel && len(state) > 0 {
+					if fn := calleeFunc(p.Pkg, m); fn != nil && fn.Pkg() != nil && isKernelPath(fn.Pkg().Path()) {
+						report(m.Pos(), "call into %s with mutex %s held; compute outside the critical section and publish the result under the lock",
+							callName(m), state.names())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return state
+}
+
+// lockMethod recognizes a call to a sync mutex method and returns the
+// selector and method name ("Lock", "RLock", "Unlock", "RUnlock").
+func lockMethod(pkg *Package, n ast.Node) (*ast.SelectorExpr, string) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return nil, ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil, ""
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, ""
+	}
+	return sel, name
+}
+
+func isKernelPath(path string) bool {
+	for _, kp := range kernelPackages {
+		if path == kp {
+			return true
+		}
+	}
+	return false
+}
+
+// collectChanRangeOperands maps each `range ch` operand expression (the
+// node the CFG records for the loop head) to true when the operand is a
+// channel, so the dataflow can flag a blocking receive loop under a lock.
+func collectChanRangeOperands(pkg *Package, body *ast.BlockStmt) map[ast.Node]bool {
+	out := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if tv, ok := pkg.Info.Types[rng.X]; ok && tv.Type != nil {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				out[rng.X] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkAtomicMixing reports values that are accessed both through
+// sync/atomic functions and with plain loads/stores in the same package.
+func checkAtomicMixing(p *Pass) {
+	pkg := p.Pkg
+	type atomicUse struct {
+		pos  token.Position
+		name string
+	}
+	atomicObjs := map[types.Object]atomicUse{}
+	atomicArgs := map[ast.Node]bool{} // &x subtrees inside atomic calls
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || selectorPackage(pkg, sel) != "sync/atomic" {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			obj := exprObject(pkg, addr.X)
+			if obj == nil {
+				return true
+			}
+			atomicArgs[addr] = true
+			if _, seen := atomicObjs[obj]; !seen {
+				atomicObjs[obj] = atomicUse{pos: pkg.Fset.Position(call.Pos()), name: "atomic." + sel.Sel.Name}
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return
+	}
+	// Composite-literal field keys are initialization, not access.
+	literalKeys := map[*ast.Ident]bool{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if kv, ok := n.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					literalKeys[id] = true
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if atomicArgs[n] {
+				return false
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok || literalKeys[id] {
+				return true
+			}
+			obj := pkg.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			use, isAtomic := atomicObjs[obj]
+			if !isAtomic {
+				return true
+			}
+			p.Reportf(id.Pos(), "plain access to %s, which is accessed with %s at %s:%d; every access must go through sync/atomic (or use a typed atomic.Value/Int64)",
+				id.Name, use.name, filepath.Base(use.pos.Filename), use.pos.Line)
+			return true
+		})
+	}
+}

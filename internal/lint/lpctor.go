@@ -1,7 +1,6 @@
-package main
+package lint
 
 import (
-	"fmt"
 	"go/ast"
 	"strings"
 )
@@ -13,19 +12,25 @@ const (
 	lputilPackage = "jcr/internal/core/lputil"
 )
 
-// runLPCtor keeps lp.Problem construction behind the lputil helpers:
+// LPCtorAnalyzer keeps lp.Problem construction behind the lputil helpers:
 // lputil.NewProblem is the designated constructor everywhere outside the LP
 // core itself (and its tests, which the loader does not analyze) and lputil.
 // A direct lp.NewProblem call elsewhere bypasses the conventions lputil
 // exists to centralize — labelled diagnostics via lputil.Solve/SolveWith and
 // a single audit point for how problems enter the warm-start lifecycle
 // (DESIGN.md §3.9).
-func runLPCtor(pkg *Package) []Diagnostic {
+var LPCtorAnalyzer = &Analyzer{
+	Name: "lp-ctor",
+	Doc:  "no direct lp.NewProblem outside the LP core; lputil.NewProblem is the designated constructor",
+	Run:  runLPCtor,
+}
+
+func runLPCtor(p *Pass) {
+	pkg := p.Pkg
 	if pkg.Path == lpPackage || pkg.Path == lputilPackage ||
 		strings.HasSuffix(pkg.Path, "/internal/lp") || strings.HasSuffix(pkg.Path, "/internal/core/lputil") {
-		return nil
+		return
 	}
-	var diags []Diagnostic
 	for _, f := range pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -39,14 +44,8 @@ func runLPCtor(pkg *Package) []Diagnostic {
 			if selectorPackage(pkg, sel) != lpPackage || sel.Sel.Name != "NewProblem" {
 				return true
 			}
-			diags = append(diags, Diagnostic{
-				Pos:      pkg.Fset.Position(call.Pos()),
-				Analyzer: "lp-ctor",
-				Message: fmt.Sprintf("direct lp.NewProblem outside %s; construct problems with lputil.NewProblem so every LP goes through the labelled-solve and warm-start conventions",
-					lpPackage),
-			})
+			p.Reportf(call.Pos(), "direct lp.NewProblem outside %s; construct problems with lputil.NewProblem so every LP goes through the labelled-solve and warm-start conventions", lpPackage)
 			return true
 		})
 	}
-	return diags
 }

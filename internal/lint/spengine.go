@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// graphPackage owns the shortest-path kernels and the tree-repair engine.
+const graphPackage = "jcr/internal/graph"
+
+// SPEngineAnalyzer keeps shortest-path computation behind the engine
+// layer: outside jcr/internal/graph, trees come from graph.TreeOf
+// (one-shot) or Engine.Tree / Engine.AllPairs / Engine.Reach (cached and
+// incrementally repaired across rounds and fault hours) — all bit-for-bit
+// identical. A direct graph.Dijkstra call bypasses the cache and, worse,
+// re-introduces call sites the engine rollout already converted
+// (DESIGN.md §3.10). Legitimate predicate-filtered runs (custom
+// skipArc/skipNode) may suppress with a jcrlint:allow directive explaining
+// why no blessed entry point fits.
+var SPEngineAnalyzer = &Analyzer{
+	Name: "sp-engine",
+	Doc:  "no direct graph.Dijkstra outside the graph package; graph.TreeOf and the tree engine are the designated entry points",
+	Run:  runSPEngine,
+}
+
+func runSPEngine(p *Pass) {
+	pkg := p.Pkg
+	if pkg.Path == graphPackage || strings.HasSuffix(pkg.Path, "/internal/graph") {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if selectorPackage(pkg, sel) != graphPackage || sel.Sel.Name != "Dijkstra" {
+				return true
+			}
+			p.Reportf(call.Pos(), "direct graph.Dijkstra outside jcr/internal/graph; use graph.TreeOf for a one-shot tree or Engine.Tree/AllPairs/Reach to reuse trees across calls (identical results, see DESIGN.md §3.10)")
+			return true
+		})
+	}
+}

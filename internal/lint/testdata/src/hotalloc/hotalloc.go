@@ -1,0 +1,94 @@
+// Package hotalloc is a jcrlint golden-test fixture for the hot-alloc
+// analyzer: allocation sources and interface boxing inside the loops of
+// //jcr:hotpath functions, versus hoisted or pooled scratch and
+// un-annotated code.
+package hotalloc
+
+import "fmt"
+
+// relax is a stand-in for a kernel relaxation loop that grows a slice per
+// iteration (violation: append in a hot loop).
+//
+//jcr:hotpath
+func relax(dist []float64, arcs [][2]int, w []float64) []int {
+	var touched []int
+	for i, a := range arcs {
+		if d := dist[a[0]] + w[i]; d < dist[a[1]] {
+			dist[a[1]] = d
+			touched = append(touched, a[1])
+		}
+	}
+	return touched
+}
+
+// debugRelax allocates a buffer and formats inside the loop (violations:
+// make and fmt per iteration).
+//
+//jcr:hotpath
+func debugRelax(dist []float64, arcs [][2]int) {
+	for _, a := range arcs {
+		buf := make([]float64, 2)
+		buf[0] = dist[a[0]]
+		fmt.Println(buf[0])
+	}
+}
+
+// sink consumes values without boxing.
+type sink interface{ put(float64) }
+
+// drain keeps v concrete through the interface method (compliant) but
+// boxes it into an any variable (violation).
+//
+//jcr:hotpath
+func drain(s sink, vals []float64) {
+	var last any
+	for _, v := range vals {
+		s.put(v)
+		last = v
+	}
+	_ = last
+}
+
+// schedule allocates a closure per iteration (violation).
+//
+//jcr:hotpath
+func schedule(fns []func(), n int) {
+	for i := 0; i < n; i++ {
+		f := func() {}
+		fns[i] = f
+	}
+}
+
+// warm is not annotated: the same allocations draw no findings
+// (compliant — one-time setup paths stay unrestricted).
+func warm(n int) []float64 {
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, float64(i))
+	}
+	return out
+}
+
+// pooled writes into caller-provided scratch by index (compliant: the hot
+// loop allocates nothing).
+//
+//jcr:hotpath
+func pooled(dist, scratch []float64) {
+	for i := range dist {
+		scratch[i] = dist[i] * dist[i]
+	}
+}
+
+// amortized deliberately grows inside the loop — measured cheaper than a
+// two-pass count+fill — so the finding is suppressed with a reason.
+//
+//jcr:hotpath
+func amortized(vals []float64) []float64 {
+	out := make([]float64, 0, len(vals))
+	for _, v := range vals {
+		if v > 0 {
+			out = append(out, v) //jcrlint:allow hot-alloc: amortized growth measured cheaper than two-pass count+fill
+		}
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+// Package lockdiscipline is a jcrlint golden-test fixture for the
+// lock-discipline analyzer: mutexes held across kernel calls and channel
+// operations, the branch-sensitive must-hold lockset, and sync/atomic
+// mixed with plain access.
+package lockdiscipline
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"jcr/internal/graph"
+)
+
+// Cache guards a distance matrix and its cached maximum.
+type Cache struct {
+	mu   sync.Mutex
+	dist [][]float64
+	max  float64
+}
+
+// RefreshBad computes a kernel result with the mutex held (violation:
+// the lock waits on a graph kernel).
+func (c *Cache) RefreshBad() {
+	c.mu.Lock()
+	c.max = graph.MaxFinite(c.dist)
+	c.mu.Unlock()
+}
+
+// RefreshGood computes outside the critical section and publishes the
+// result under the lock (compliant).
+func (c *Cache) RefreshGood() {
+	m := graph.MaxFinite(c.dist)
+	c.mu.Lock()
+	c.max = m
+	c.mu.Unlock()
+}
+
+// SendBad sends on a channel with the mutex held by a deferred unlock
+// (violation: the send can block the critical section indefinitely).
+func (c *Cache) SendBad(ch chan<- float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch <- c.max
+}
+
+// DrainBad ranges over a channel with the mutex held (violation: every
+// receive blocks the critical section).
+func (c *Cache) DrainBad(ch <-chan float64) {
+	c.mu.Lock()
+	for v := range ch {
+		c.max = v
+	}
+	c.mu.Unlock()
+}
+
+// BranchMerge unlocks early on the fast path; after the merge the lock is
+// no longer DEFINITELY held, so the kernel call is not flagged (must-hold
+// intersection, no false positive).
+func (c *Cache) BranchMerge(fast bool) {
+	c.mu.Lock()
+	if fast {
+		c.mu.Unlock()
+	}
+	c.max = graph.MaxFinite(c.dist)
+	if !fast {
+		c.mu.Unlock()
+	}
+}
+
+// FlushAllowed deliberately sends under the lock — the channel is
+// buffered wider than any burst — so the finding is suppressed with a
+// reason (no diagnostic in the golden).
+func (c *Cache) FlushAllowed(ch chan<- float64) {
+	c.mu.Lock()
+	ch <- c.max //jcrlint:allow lock-discipline: buffered diagnostics channel sized above the burst bound; never blocks
+	c.mu.Unlock()
+}
+
+// hits is accessed through sync/atomic in Record and with a plain load in
+// SnapshotBad: the plain access is the violation.
+var hits int64
+
+// Record counts a hit atomically (compliant).
+func Record() { atomic.AddInt64(&hits, 1) }
+
+// SnapshotBad reads hits with a plain load (violation: loses atomicity).
+func SnapshotBad() int64 { return hits }
+
+// SnapshotGood reads hits atomically (compliant).
+func SnapshotGood() int64 { return atomic.LoadInt64(&hits) }

@@ -1,0 +1,100 @@
+// Package maporder is a jcrlint golden-test fixture for the map-order
+// analyzer: map iteration order leaking into appended slices, float
+// accumulations, emitted output, channel sends and returned witnesses —
+// the PR 3 routing/decompose bug class — versus the collect-then-sort
+// idiom and exact integer accumulation.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PathFlow mirrors the flow-decomposition value the PR 3 leak escaped
+// through.
+type PathFlow struct {
+	Sink   int
+	Amount float64
+}
+
+// DecomposeLeak reproduces the PR 3 routing/decompose leak: per-dest path
+// flows appended, and their amounts float-accumulated, in map iteration
+// order (two violations). Returning the unsorted slice also exports the
+// map-order fact.
+func DecomposeLeak(byDest map[int][]PathFlow) []PathFlow {
+	var out []PathFlow
+	total := 0.0
+	for dest, flows := range byDest {
+		for _, pf := range flows {
+			total += pf.Amount
+			out = append(out, PathFlow{Sink: dest, Amount: pf.Amount})
+		}
+	}
+	_ = total
+	return out
+}
+
+// EmitLeaked ranges over DecomposeLeak's unsorted result: still map
+// order, via the intra-package fact (violation).
+func EmitLeaked(byDest map[int][]PathFlow) {
+	for _, pf := range DecomposeLeak(byDest) {
+		fmt.Println(pf.Sink)
+	}
+}
+
+// SortedKeys is the sanctioned collect-then-sort idiom (compliant: the
+// appended slice is sorted before use, so no finding and no fact).
+func SortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SumSorted accumulates floats in sorted key order (compliant).
+func SumSorted(m map[string]float64) float64 {
+	total := 0.0
+	for _, k := range SortedKeys(m) {
+		total += m[k]
+	}
+	return total
+}
+
+// CountPositive accumulates an integer over map order (compliant:
+// integer addition is exact and commutative).
+func CountPositive(m map[string]float64) int {
+	n := 0
+	for _, v := range m {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// PublishLeak sends keys in map iteration order (violation).
+func PublishLeak(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k
+	}
+}
+
+// AnyKey returns whichever key the runtime iterates first (violation:
+// a nondeterministic witness).
+func AnyKey(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+// DrainUnordered deliberately consumes the map in any order — the sink is
+// an order-insensitive set union — so the finding is suppressed with a
+// reason (no diagnostic in the golden).
+func DrainUnordered(m map[string]int, sink chan<- string) {
+	for k := range m {
+		sink <- k //jcrlint:allow map-order: downstream set union is order-insensitive
+	}
+}

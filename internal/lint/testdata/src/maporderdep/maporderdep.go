@@ -1,0 +1,15 @@
+// Package maporderdep is the producing half of the jcrlint map-order
+// cross-package fixture: Keys returns map keys in iteration order with the
+// local finding suppressed. The exported map-order fact is NOT suppressed
+// and must still taint importers (see maporderuse).
+package maporderdep
+
+// Keys returns m's keys in map iteration order. The finding is
+// deliberately allowed here; callers are on the hook to sort.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) //jcrlint:allow map-order: callers are documented to sort; the fact still propagates
+	}
+	return out
+}

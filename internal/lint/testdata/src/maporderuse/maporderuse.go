@@ -1,0 +1,29 @@
+// Package maporderuse is the consuming half of the jcrlint map-order
+// cross-package fixture: ranging over maporderdep.Keys leaks the
+// producer's map order through the imported fact (violation), even though
+// the producer's own finding was suppressed; sorting first is compliant.
+package maporderuse
+
+import (
+	"fmt"
+	"sort"
+
+	"jcr/internal/lint/testdata/src/maporderdep"
+)
+
+// PrintLeak emits in the dependency's map order (violation via the
+// cross-package fact).
+func PrintLeak(m map[string]int) {
+	for _, k := range maporderdep.Keys(m) {
+		fmt.Println(k)
+	}
+}
+
+// PrintSorted sorts the dependency's keys before emitting (compliant).
+func PrintSorted(m map[string]int) {
+	keys := maporderdep.Keys(m)
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k)
+	}
+}

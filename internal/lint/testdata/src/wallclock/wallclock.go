@@ -1,0 +1,39 @@
+// Package wallclock is a jcrlint golden-test fixture for the wall-clock
+// analyzer: ambient clock and environment reads in library code versus an
+// injected clock.
+package wallclock
+
+import (
+	"os"
+	"time"
+)
+
+// Stamp reads the ambient clock (violation).
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// Elapsed reads the ambient clock through time.Since (violation).
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// Configured reads the process environment (violation).
+func Configured() bool {
+	_, ok := os.LookupEnv("JCR_DEBUG")
+	return ok
+}
+
+// Injected measures elapsed time with a caller-supplied clock (compliant:
+// the library never owns the clock).
+func Injected(now func() time.Time) time.Duration {
+	start := now()
+	return now().Sub(start)
+}
+
+// Allowed deliberately reads the clock, suppressed with a reason (no
+// diagnostic in the golden; the fact still taints callers — the
+// cross-package fixture pins that).
+func Allowed() time.Time {
+	return time.Now() //jcrlint:allow wall-clock: debug banner timestamp, not used in any computation
+}

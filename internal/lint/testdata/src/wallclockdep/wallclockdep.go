@@ -1,0 +1,15 @@
+// Package wallclockdep is the producing half of the jcrlint wall-clock
+// cross-package fixture: the clock read is suppressed locally, but the
+// exported fact still marks both Stamp and the laundering hop.
+package wallclockdep
+
+import "time"
+
+// Stamp reads the ambient clock; the finding is deliberately allowed.
+func Stamp() time.Time {
+	return time.Now() //jcrlint:allow wall-clock: fixture producer; the fact must still propagate
+}
+
+// Laundered hides the read behind another hop; the intra-package fixpoint
+// taints it too.
+func Laundered() time.Time { return Stamp() }

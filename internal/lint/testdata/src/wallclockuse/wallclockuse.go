@@ -1,0 +1,18 @@
+// Package wallclockuse is the consuming half of the jcrlint wall-clock
+// cross-package fixture: calling a module function that transitively
+// reaches the clock is a violation here, even though the producer's own
+// finding was suppressed in its package.
+package wallclockuse
+
+import "jcr/internal/lint/testdata/src/wallclockdep"
+
+// Tainted calls the direct reader (violation via the imported fact).
+func Tainted() int64 {
+	return wallclockdep.Stamp().UnixNano()
+}
+
+// AlsoTainted reaches the clock through the laundering hop (violation:
+// the fact survived two call boundaries).
+func AlsoTainted() int64 {
+	return wallclockdep.Laundered().UnixNano()
+}

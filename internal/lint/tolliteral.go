@@ -1,0 +1,40 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+)
+
+// tolLiteralRE matches scientific-notation literals with a negative
+// exponent (1e-9, 2.5E-12, ...) — the way numeric tolerances are written.
+// Plain decimals (0.5 damping factors, 2.0 scale factors) are not flagged.
+var tolLiteralRE = regexp.MustCompile(`^[0-9]+(?:\.[0-9]*)?[eE]-[0-9]+$`)
+
+// TolLiteralAnalyzer flags tolerance-shaped float literals appearing
+// inside function bodies. Tolerances steer every feasibility and
+// convergence decision in the solvers; inlining them scatters magic
+// numbers that cannot be audited or tuned coherently. Declaring them as
+// package-level constants (where the analyzer allows them) keeps each
+// package's numerical slack reviewable in one block.
+var TolLiteralAnalyzer = &Analyzer{
+	Name: "tol-literal",
+	Doc:  "scientific-notation tolerance literals must be named package-level constants",
+	Run:  runTolLiteral,
+}
+
+func runTolLiteral(p *Pass) {
+	pkg := p.Pkg
+	// Package-level const/var declarations are the sanctioned home for
+	// tolerances; only function bodies are policed.
+	for _, fd := range funcDecls(pkg) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.FLOAT || !tolLiteralRE.MatchString(lit.Value) {
+				return true
+			}
+			p.Reportf(lit.Pos(), "inline tolerance literal %s; name it as a package-level constant", lit.Value)
+			return true
+		})
+	}
+}

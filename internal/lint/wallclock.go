@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClockFact marks a function that reads the wall clock or process
+// environment, directly or through other module functions. It propagates
+// across packages so a library cannot launder time.Now through a helper.
+type wallClockFact struct {
+	Via string // e.g. "time.Now" or "helpers.Stamp (time.Now)"
+}
+
+// wallClockFuncs are the ambient-authority reads the library must not
+// perform: wall-clock time and environment variables. Deterministic
+// replay — the repo's headline guarantee — requires that both be injected
+// by the binary (a Now func in an options/config struct, explicit config
+// values), never read ambiently; the serving plane's staleness metrics
+// will lean on the same injection seam.
+var wallClockFuncs = map[string]map[string]bool{
+	"time": {
+		"Now": true, "Since": true, "Until": true,
+		"Tick": true, "After": true, "AfterFunc": true,
+		"NewTicker": true, "NewTimer": true,
+	},
+	"os": {
+		"Getenv": true, "LookupEnv": true, "Environ": true,
+	},
+}
+
+// WallClockAnalyzer forbids wall-clock and environment reads in library
+// (non-main) packages. It reports direct calls (time.Now, time.Since,
+// os.Getenv, ...) and — via cross-package facts — calls into module
+// functions that transitively reach one, so moving the read into a helper
+// in another package does not hide it. Only main packages (cmd/*,
+// examples/*) may read ambient time/environment and inject them downward.
+var WallClockAnalyzer = &Analyzer{
+	Name: "wall-clock",
+	Doc:  "no time.Now/time.Since/os.Getenv reachable from library packages; inject clocks and config",
+	Run:  runWallClock,
+}
+
+func runWallClock(p *Pass) {
+	pkg := p.Pkg
+	if pkg.IsMain {
+		return // mains own the ambient authority and inject it downward
+	}
+	// Intra-package fixpoint so helper chains settle regardless of
+	// declaration order; cross-package facts are final already.
+	local := map[*types.Func]string{}
+	for {
+		changed := false
+		for _, fd := range funcDecls(pkg) {
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if _, done := local[fn]; done {
+				continue
+			}
+			if via := p.wallClockVia(fd, local); via != "" {
+				local[fn] = via
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for fn, via := range local {
+		p.ExportFact(fn, wallClockFact{Via: via})
+	}
+	for _, fd := range funcDecls(pkg) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := directWallClockCall(pkg, call); ok {
+				p.Reportf(call.Pos(), "library package reads ambient %s; inject the clock/config from the binary (e.g. a Now func or config field)", name)
+				return true
+			}
+			// Cross-package taint: a module function from another
+			// package that reaches the wall clock. Intra-package
+			// indirect calls are not re-reported — the direct site is
+			// already flagged in this same run.
+			fn := calleeFunc(pkg, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() == pkg.Path || !isModulePath(fn.Pkg().Path()) {
+				return true
+			}
+			if fact, ok := p.ImportFact(fn); ok {
+				p.Reportf(call.Pos(), "%s reaches the wall clock/environment (via %s); inject a clock instead of calling it from library code",
+					callName(call), fact.(wallClockFact).Via)
+			}
+			return true
+		})
+	}
+}
+
+// wallClockVia returns how fd reaches the wall clock, or "".
+func (p *Pass) wallClockVia(fd *ast.FuncDecl, local map[*types.Func]string) string {
+	via := ""
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if via != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := directWallClockCall(p.Pkg, call); ok {
+			via = name
+			return false
+		}
+		if fn := calleeFunc(p.Pkg, call); fn != nil {
+			if v, ok := local[fn]; ok {
+				via = callName(call) + " (" + v + ")"
+				return false
+			}
+			if fact, ok := p.ImportFact(fn); ok {
+				via = callName(call) + " (" + fact.(wallClockFact).Via + ")"
+				return false
+			}
+		}
+		return true
+	})
+	return via
+}
+
+// directWallClockCall matches a call against the forbidden std functions.
+func directWallClockCall(pkg *Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	path := selectorPackage(pkg, sel)
+	names, ok := wallClockFuncs[path]
+	if !ok || !names[sel.Sel.Name] {
+		return "", false
+	}
+	return path + "." + sel.Sel.Name, true
+}

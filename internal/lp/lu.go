@@ -279,6 +279,8 @@ func newBasisLU(f *stdForm, basis []int) (*basisLU, error) {
 }
 
 // refactor rebuilds the LU from the current basis and drops the eta file.
+// The truncation keeps the retired etas (and their idx/val backing arrays)
+// live in the slice's capacity so update can recycle them.
 func (b *basisLU) refactor(f *stdForm, basis []int) error {
 	lu, err := luFactorize(f, basis, &b.ws)
 	if err != nil {
@@ -291,15 +293,41 @@ func (b *basisLU) refactor(f *stdForm, basis []int) error {
 
 // update appends the eta for an exchange at basis position r with FTRAN
 // direction d. The ratio test guarantees |d[r]| is comfortably nonzero.
+// Storage is pooled: the eta slot retired by the last refactor is reused,
+// and its idx/val arrays are refilled in place, so steady-state pivoting
+// allocates only while an eta's nonzero pattern outgrows every buffer the
+// slot has held before.
+//
+//jcr:hotpath
 func (b *basisLU) update(r int, d []float64) {
-	e := eta{r: r, dr: d[r]}
+	nnz := 0
 	for i, v := range d {
 		if i != r && v != 0 {
-			e.idx = append(e.idx, i)
-			e.val = append(e.val, v)
+			nnz++
 		}
 	}
-	b.etas = append(b.etas, e)
+	var e eta
+	if n := len(b.etas); n < cap(b.etas) {
+		b.etas = b.etas[:n+1]
+		e = b.etas[n] // recycled slot: keeps its idx/val capacity
+	} else {
+		b.etas = append(b.etas, eta{})
+	}
+	if cap(e.idx) < nnz {
+		e.idx = make([]int, nnz)
+		e.val = make([]float64, nnz)
+	}
+	e.r, e.dr = r, d[r]
+	e.idx, e.val = e.idx[:nnz], e.val[:nnz]
+	k := 0
+	for i, v := range d {
+		if i != r && v != 0 {
+			e.idx[k] = i
+			e.val[k] = v
+			k++
+		}
+	}
+	b.etas[len(b.etas)-1] = e
 }
 
 // full reports whether the eta file has reached the refactorization bound.

@@ -115,11 +115,14 @@ func (r *revised) setPhase2Costs() {
 
 // iterate runs revised-simplex pivots until optimality for the current cost
 // vector, mirroring tableau.iterate.
+//
+//jcr:hotpath
 func (r *revised) iterate() error {
 	maxPivots := 200*(r.f.m+r.f.n) + 20000
 	for r.pivots < maxPivots {
 		if r.ctx != nil && r.pivots%ctxCheckPivots == 0 {
 			if err := r.ctx.Err(); err != nil {
+				//jcrlint:allow hot-alloc: cancellation exit path, formats at most once per solve
 				return fmt.Errorf("lp: canceled after %d pivots: %w", r.pivots, err)
 			}
 		}
@@ -138,6 +141,8 @@ func (r *revised) iterate() error {
 // chooseEntering prices every nonbasic column against the duals
 // y = B^-T c_B and returns an improving column, or -1 at optimality. Under
 // Bland's rule the lowest-index eligible column wins; otherwise Dantzig.
+//
+//jcr:hotpath
 func (r *revised) chooseEntering(bland bool) int {
 	for i := 0; i < r.f.m; i++ {
 		r.y[i] = r.c[r.basis[i]]
@@ -170,6 +175,8 @@ func (r *revised) chooseEntering(bland bool) int {
 // pivot moves the entering column e as far as the ratio test allows,
 // flipping its bound or exchanging it with a leaving basic variable. The
 // direction d = B^-1 A_e plays the role the dense tableau column played.
+//
+//jcr:hotpath
 func (r *revised) pivot(e int, bland bool) error {
 	for i := range r.d {
 		r.d[i] = 0

@@ -125,7 +125,17 @@ func decomposePerCommodity(inst *Instance, arcFlow []float64) ([][]flow.PathFlow
 		byDestPaths[pf.Sink] = append(byDestPaths[pf.Sink], pf)
 	}
 	out := make([][]flow.PathFlow, len(inst.Commodities))
-	for dest, ids := range byDest {
+	// Process destinations in sorted order: the greedy split consumes
+	// shared path flows with compound float arithmetic, and the shortfall
+	// error picks a witness, so map order here was exactly the
+	// nondeterminism bug class this repo's map-order lint exists for.
+	dests := make([]graph.NodeID, 0, len(byDest))
+	for dest := range byDest {
+		dests = append(dests, dest)
+	}
+	sort.Ints(dests)
+	for _, dest := range dests {
+		ids := byDest[dest]
 		avail := byDestPaths[dest]
 		pi := 0
 		for _, i := range ids {

@@ -226,8 +226,16 @@ type Options struct {
 	// the hour is declared degraded (or the run aborts, if not
 	// Resilient).
 	MaxRetries int
-	// Backoff is the wait between retry attempts.
+	// Backoff is the wait between retry attempts. The wait itself is
+	// performed by Sleep, which the binary injects (library code never
+	// owns a timer); with a nil Sleep the backoff duration is skipped
+	// and retries are immediate, which is also what deterministic tests
+	// want.
 	Backoff time.Duration
+	// Sleep waits the given duration or until ctx is done, returning
+	// ctx's error if it fired first. Binaries pass a real timer-backed
+	// implementation; nil means no waiting between retries.
+	Sleep func(ctx context.Context, d time.Duration) error
 	// Validate checks every fresh decision against the feasibility
 	// invariants (cache capacities, path integrity, declared-unserved
 	// service accounting) before applying it; an invalid decision is
@@ -326,8 +334,8 @@ func Run(ctx context.Context, policy Policy, hours []HourInput, opts Options) (*
 func decideWithRetry(ctx context.Context, policy Policy, h HourInput, opts Options) (*Decision, int, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		if attempt > 0 && opts.Backoff > 0 {
-			if err := sleep(ctx, opts.Backoff); err != nil {
+		if attempt > 0 && opts.Backoff > 0 && opts.Sleep != nil {
+			if err := opts.Sleep(ctx, opts.Backoff); err != nil {
 				return nil, attempt, lastErr
 			}
 		}
@@ -363,22 +371,6 @@ func decideOnce(ctx context.Context, policy Policy, h HourInput, timeout time.Du
 		return nil, errors.New("policy returned no decision")
 	}
 	return dec, nil
-}
-
-// sleep waits d, or less if ctx is done first (returning its error).
-func sleep(ctx context.Context, d time.Duration) error {
-	if ctx == nil {
-		time.Sleep(d)
-		return nil
-	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
 }
 
 // validateDecision checks a fresh decision against the feasibility

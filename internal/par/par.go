@@ -45,6 +45,8 @@ func Workers(requested, n int) int {
 // the loop runs inline on the caller's goroutine — no goroutines, no
 // channels — so a sequential configuration behaves exactly like the
 // pre-pool code. A panic in fn is re-raised on the caller's goroutine.
+//
+//jcr:hotpath
 func Do(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
@@ -73,7 +75,7 @@ func Do(ctx context.Context, workers, n int, fn func(i int) error) error {
 	)
 	for g := 0; g < w; g++ {
 		wg.Add(1)
-		//jcrlint:allow go-stmt: this package IS the worker pool
+		//jcrlint:allow go-stmt,hot-alloc: this package IS the worker pool; one closure per worker is batch setup, not per-item work
 		go func() {
 			defer wg.Done()
 			defer func() {

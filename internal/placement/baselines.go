@@ -3,6 +3,7 @@ package placement
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"jcr/internal/graph"
 )
@@ -158,7 +159,13 @@ func KSP3(s *Spec, origin graph.NodeID, k int, slotCap []float64) (*KSPResult, e
 	// per-(requester, node) suffix minimum makes each greedy evaluation
 	// O(1) instead of a path scan.
 	suffixMin := map[graph.NodeID][]float64{}
-	for node, cands := range candByNode {
+	requesters := make([]graph.NodeID, 0, len(candByNode))
+	for node := range candByNode {
+		requesters = append(requesters, node)
+	}
+	sort.Ints(requesters)
+	for _, node := range requesters {
+		cands := candByNode[node]
 		sm := make([]float64, g.NumNodes())
 		for v := range sm {
 			sm[v] = math.Inf(1)

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json bench-compare race vet lint cover experiments examples clean
+.PHONY: all build test bench bench-json bench-compare race vet lint cover experiments examples soak clean
 
 all: build lint test
 
@@ -31,23 +31,30 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable substrate micro-benchmarks (LP pivots/sec sparse vs
-# dense, warm-vs-cold solver resolves, MMSFP wall time, experiment-harness
-# times) for tracking the perf trajectory across PRs.
+# dense, warm-vs-cold solver resolves, MMSFP wall time, serving-layer
+# lookup/swap, experiment-harness times) for tracking the perf trajectory
+# across PRs.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_pr5.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr7.json
 
 # Perf gate: fail if the current tree regressed the LP or shortest-path
 # micro-benchmarks by more than 15% against the committed previous-PR
 # baseline (CI runs this, skippable with the `skip-bench` PR label).
 bench-compare:
-	$(GO) run ./cmd/benchjson -only lp_sparse_solve,dijkstra_tree,yen_k25,online_fault_reroute -repeat 3 -out /tmp/bench_head.json
+	$(GO) run ./cmd/benchjson -only lp_sparse_solve,dijkstra_tree,yen_k25,online_fault_reroute,serve_lookup,plan_swap -repeat 3 -out /tmp/bench_head.json
 	$(GO) run ./cmd/benchjson -compare \
-		-names lp_sparse_solve_placement,lp_sparse_solve_mmsfp_sized,dijkstra_tree,yen_k25,online_fault_reroute \
-		BENCH_pr5.json /tmp/bench_head.json
+		-names lp_sparse_solve_placement,lp_sparse_solve_mmsfp_sized,dijkstra_tree,yen_k25,online_fault_reroute,serve_lookup,plan_swap \
+		BENCH_pr7.json /tmp/bench_head.json
 
 # Full suite under the race detector (also a CI job).
 race:
 	$(GO) test -race ./...
+
+# Serving-layer soak gate (also a CI job): the control plane is killed
+# halfway and every lookup of the run must still resolve.
+soak:
+	$(GO) run ./cmd/jcrserve -hours 12 -lookups 200000 -kill-cp 6 -soak
+	$(GO) run ./cmd/jcrserve -hours 12 -lookups 200000 -corrupt-push 4 -corrupt-hours 3 -concurrent -soak
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 experiments:

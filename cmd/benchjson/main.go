@@ -51,6 +51,9 @@ type Result struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	// PivotsPerSec is set for LP benchmarks only.
 	PivotsPerSec float64 `json:"pivots_per_sec,omitempty"`
+	// LookupsPerSec is set for the serving-layer lookup benchmark only;
+	// the PR-7 acceptance gate pins it at >= 1M with zero allocs/op.
+	LookupsPerSec float64 `json:"lookups_per_sec,omitempty"`
 }
 
 // Report is the whole JSON document.
@@ -60,7 +63,7 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr5.json", "output file ('-' = stdout)")
+	out := flag.String("out", "BENCH_pr7.json", "output file ('-' = stdout)")
 	mc := flag.Int("mc", 1, "Monte-Carlo runs for the experiment-harness timings")
 	repeat := flag.Int("repeat", 1, "repetitions per micro-benchmark; the minimum ns/op is reported (damps machine noise for compare mode)")
 	compare := flag.Bool("compare", false, "compare two report files (old new) and exit non-zero on regression")
@@ -259,6 +262,50 @@ func main() {
 			}
 		})
 		rep.Benchmarks = append(rep.Benchmarks, toResult(b.name, res))
+	}
+
+	// Serving-layer benchmarks (PR-7): the data plane's lock-free lookup hot
+	// path (gated at >= 1M lookups/sec, zero allocs/op) and a full validated
+	// plan swap (self-check plus atomic install), the latency a control-plane
+	// push adds before new routes serve.
+	if want("serve_lookup") {
+		st := serveBench()
+		res := bench(func(tb *testing.B) {
+			tb.ReportAllocs()
+			var sink graph.NodeID
+			for i := 0; i < tb.N; i++ {
+				k := i & (len(st.sample) - 1)
+				rt := st.dp.Lookup(st.sample[k].Item, st.sample[k].Node, st.picks[k])
+				sink += rt.Replica
+			}
+			_ = sink
+		})
+		row := toResult("serve_lookup", res)
+		if res.NsPerOp() > 0 {
+			row.LookupsPerSec = 1e9 / float64(res.NsPerOp())
+		}
+		if row.AllocsPerOp != 0 {
+			fatal(fmt.Errorf("serve_lookup allocates %d/op; the read path must be allocation-free", row.AllocsPerOp))
+		}
+		if row.LookupsPerSec < 1e6 {
+			fatal(fmt.Errorf("serve_lookup at %.0f lookups/sec, acceptance floor is 1M", row.LookupsPerSec))
+		}
+		rep.Benchmarks = append(rep.Benchmarks, row)
+	}
+	if want("plan_swap") {
+		st := serveBench()
+		res := bench(func(tb *testing.B) {
+			tb.ReportAllocs()
+			base := st.dp.Plan()
+			for i := 0; i < tb.N; i++ {
+				c := *base // plans are immutable; re-stamp a copy per swap
+				c.Epoch = base.Epoch + uint64(i) + 1
+				if err := st.dp.Install(&c); err != nil {
+					tb.Fatal(err)
+				}
+			}
+		})
+		rep.Benchmarks = append(rep.Benchmarks, toResult("plan_swap", res))
 	}
 
 	// Experiment-harness wall times: one timed pass per table/figure id

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestSoakPassesOnHealthyRun(t *testing.T) {
+	var out, errb strings.Builder
+	code := run(context.Background(), []string{"-hours", "3", "-lookups", "2000", "-soak"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "SOAK PASS") {
+		t.Fatalf("output missing soak verdict:\n%s", out.String())
+	}
+}
+
+func TestSoakSurvivesControlPlaneKill(t *testing.T) {
+	var out, errb strings.Builder
+	code := run(context.Background(), []string{"-hours", "6", "-lookups", "2000", "-kill-cp", "2", "-soak"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "control plane down") || !strings.Contains(s, "SOAK PASS") {
+		t.Fatalf("output:\n%s", s)
+	}
+}
+
+func TestSoakSurvivesCorruptedPush(t *testing.T) {
+	var out, errb strings.Builder
+	code := run(context.Background(), []string{"-hours", "5", "-lookups", "2000", "-corrupt-push", "1", "-corrupt-hours", "2", "-soak"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "rejected") || !strings.Contains(s, "SOAK PASS") {
+		t.Fatalf("output:\n%s", s)
+	}
+}
+
+func TestConcurrentMode(t *testing.T) {
+	var out, errb strings.Builder
+	code := run(context.Background(), []string{"-hours", "4", "-lookups", "5000", "-concurrent", "-kill-cp", "2", "-soak"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "SOAK PASS") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestBadFlagsExitNonZero(t *testing.T) {
+	for _, args := range [][]string{
+		{"-no-such-flag"},
+		{"-hours", "0"},
+		{"-policy", "nope"},
+		{"-corrupt-hours", "0"},
+	} {
+		var out, errb strings.Builder
+		if code := run(context.Background(), args, &out, &errb); code != 2 {
+			t.Fatalf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}

@@ -43,6 +43,19 @@ const (
 	// or the whole catalog — by Factor, leaving the decision demand
 	// untouched: the surge is unanticipated by construction.
 	DemandSurge
+	// ControlPlaneDown marks hours during which the control plane is
+	// dead or unreachable: no replan runs and no plan is pushed, so the
+	// data plane keeps serving its last-known-good plan (and fail-safe
+	// routes for anything that plan does not cover). The event rewrites
+	// no spec; it is consulted via Scenario.ControlPlaneDownAt and
+	// reported in Condition.CPDown.
+	ControlPlaneDown
+	// PushCorrupt marks hours whose control-plane push is corrupted in
+	// flight: the plan that reaches the data plane is garbage and must be
+	// rejected by validation, keeping the last-known-good plan serving.
+	// Like ControlPlaneDown it rewrites no spec; it is consulted via
+	// Scenario.CorruptPushAt and reported in Condition.CPCorrupt.
+	PushCorrupt
 )
 
 func (k Kind) String() string {
@@ -55,6 +68,10 @@ func (k Kind) String() string {
 		return "cache-down"
 	case DemandSurge:
 		return "demand-surge"
+	case ControlPlaneDown:
+		return "control-plane-down"
+	case PushCorrupt:
+		return "push-corrupt"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -159,11 +176,18 @@ type Condition struct {
 	CachesDown []graph.NodeID
 	// Surged reports whether any demand surge was in effect.
 	Surged bool
+	// CPDown reports whether the control plane was down this hour
+	// (ControlPlaneDown event): no replan, no push.
+	CPDown bool
+	// CPCorrupt reports whether this hour's control-plane push is
+	// corrupted in flight (PushCorrupt event).
+	CPCorrupt bool
 }
 
 // Faulty reports whether the hour had any fault in effect.
 func (c *Condition) Faulty() bool {
-	return len(c.LinksDown) > 0 || len(c.LinksDegraded) > 0 || len(c.CachesDown) > 0 || c.Surged
+	return len(c.LinksDown) > 0 || len(c.LinksDegraded) > 0 || len(c.CachesDown) > 0 ||
+		c.Surged || c.CPDown || c.CPCorrupt
 }
 
 // Apply produces the degraded decision and truth specs for one hour. The
@@ -176,6 +200,22 @@ func (c *Condition) Faulty() bool {
 func (sc *Scenario) Apply(hour int, decision, truth *placement.Spec) (*placement.Spec, *placement.Spec, *Condition, error) {
 	cond := &Condition{Hour: hour}
 	active := sc.ActiveAt(hour)
+	// Control-plane events rewrite nothing: they are flags for the serving
+	// layer (skip the replan, corrupt the push). Split them out so an hour
+	// with only CP faults still returns the input specs unchanged — same
+	// pointers, like a fault-free hour.
+	specEvents := active[:0:0]
+	for _, e := range active {
+		switch e.Kind {
+		case ControlPlaneDown:
+			cond.CPDown = true
+		case PushCorrupt:
+			cond.CPCorrupt = true
+		default:
+			specEvents = append(specEvents, e)
+		}
+	}
+	active = specEvents
 	if len(active) == 0 {
 		return decision, truth, cond, nil
 	}
@@ -402,4 +442,88 @@ func Surge(item int, factor float64, start, duration int) *Scenario {
 		Name:   fmt.Sprintf("surge-x%g", factor),
 		Events: []Event{{Kind: DemandSurge, Start: start, Duration: duration, Item: item, Factor: factor}},
 	}
+}
+
+// ControlPlaneDownAt reports whether a ControlPlaneDown event is in effect
+// at the given hour. Nil-safe.
+func (sc *Scenario) ControlPlaneDownAt(hour int) bool {
+	if sc == nil {
+		return false
+	}
+	for _, e := range sc.Events {
+		if e.Kind == ControlPlaneDown && e.ActiveAt(hour) {
+			return true
+		}
+	}
+	return false
+}
+
+// CorruptPushAt reports whether a PushCorrupt event is in effect at the
+// given hour. Nil-safe.
+func (sc *Scenario) CorruptPushAt(hour int) bool {
+	if sc == nil {
+		return false
+	}
+	for _, e := range sc.Events {
+		if e.Kind == PushCorrupt && e.ActiveAt(hour) {
+			return true
+		}
+	}
+	return false
+}
+
+// ControlPlaneOutage scripts a control-plane death for hours in
+// [start, start+duration): the serving layer runs those hours without a
+// replan or a push, and traffic must keep resolving from the last-known-
+// good plan and the fail-safe routes.
+func ControlPlaneOutage(start, duration int) *Scenario {
+	return &Scenario{
+		Name:   fmt.Sprintf("cp-outage@%d+%d", start, duration),
+		Events: []Event{{Kind: ControlPlaneDown, Start: start, Duration: duration}},
+	}
+}
+
+// CorruptedPush scripts in-flight plan corruption for hours in
+// [start, start+duration): every push during those hours reaches the data
+// plane as garbage, and swap validation must reject it, keeping the
+// last-known-good plan serving.
+func CorruptedPush(start, duration int) *Scenario {
+	return &Scenario{
+		Name:   fmt.Sprintf("corrupt-push@%d+%d", start, duration),
+		Events: []Event{{Kind: PushCorrupt, Start: start, Duration: duration}},
+	}
+}
+
+// RandomControlPlaneOutages draws a seeded failure/repair chain for the
+// control plane over the horizon, the CP counterpart of RandomLinkFaults:
+// an up control plane dies each hour with probability 1/mtbf and recovers
+// with probability 1/mttr (both in hours, at least 1). Fully determined by
+// the seed, so CP chaos is as reproducible as link chaos.
+func RandomControlPlaneOutages(hours int, mtbf, mttr float64, seed int64) (*Scenario, error) {
+	if hours <= 0 {
+		return nil, fmt.Errorf("faults: horizon must be positive, got %d", hours)
+	}
+	if mtbf < 1 || math.IsNaN(mtbf) {
+		return nil, fmt.Errorf("faults: mtbf %v must be at least 1 hour", mtbf)
+	}
+	if mttr < 1 || math.IsNaN(mttr) {
+		return nil, fmt.Errorf("faults: mttr %v must be at least 1 hour", mttr)
+	}
+	r := rng.New(seed)
+	sc := &Scenario{Name: fmt.Sprintf("random-cp-outages(mtbf=%g,mttr=%g,seed=%d)", mtbf, mttr, seed)}
+	downSince := -1
+	for h := 0; h < hours; h++ {
+		if downSince < 0 {
+			if r.Float64() < 1/mtbf {
+				downSince = h
+			}
+		} else if r.Float64() < 1/mttr {
+			sc.Events = append(sc.Events, Event{Kind: ControlPlaneDown, Start: downSince, Duration: h - downSince})
+			downSince = -1
+		}
+	}
+	if downSince >= 0 {
+		sc.Events = append(sc.Events, Event{Kind: ControlPlaneDown, Start: downSince, Duration: hours - downSince})
+	}
+	return sc, nil
 }

@@ -303,3 +303,122 @@ func TestFaultMergeAndActiveAt(t *testing.T) {
 		t.Errorf("hour 4 has %d active events, want 0", got)
 	}
 }
+
+func TestFaultControlPlaneOutageWindows(t *testing.T) {
+	sc := ControlPlaneOutage(2, 3)
+	for hour, want := range map[int]bool{0: false, 1: false, 2: true, 4: true, 5: false} {
+		if got := sc.ControlPlaneDownAt(hour); got != want {
+			t.Fatalf("hour %d: down=%v, want %v", hour, got, want)
+		}
+		if sc.CorruptPushAt(hour) {
+			t.Fatalf("hour %d: an outage scenario corrupts no pushes", hour)
+		}
+	}
+	var nilSc *Scenario
+	if nilSc.ControlPlaneDownAt(0) || nilSc.CorruptPushAt(0) {
+		t.Fatal("nil scenario reports faults")
+	}
+}
+
+func TestFaultCorruptedPushWindows(t *testing.T) {
+	sc := CorruptedPush(1, 2)
+	for hour, want := range map[int]bool{0: false, 1: true, 2: true, 3: false} {
+		if got := sc.CorruptPushAt(hour); got != want {
+			t.Fatalf("hour %d: corrupt=%v, want %v", hour, got, want)
+		}
+		if sc.ControlPlaneDownAt(hour) {
+			t.Fatalf("hour %d: a corruption scenario takes nothing down", hour)
+		}
+	}
+}
+
+// TestFaultApplyCPFaultsRewriteNothing pins that control-plane events are
+// flags only: an hour with just CP faults returns the input specs by
+// pointer identity, like a fault-free hour, while the condition reports
+// the CP state.
+func TestFaultApplyCPFaultsRewriteNothing(t *testing.T) {
+	dec, tr := line4(t)
+	sc := Merge("cp", ControlPlaneOutage(0, 2), CorruptedPush(1, 1))
+	d0, t0, cond, err := sc.Apply(0, dec, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d0 != dec || t0 != tr {
+		t.Fatal("CP-only hour rewrote the specs")
+	}
+	if !cond.CPDown || cond.CPCorrupt || !cond.Faulty() {
+		t.Fatalf("hour 0 condition %+v", cond)
+	}
+	_, _, cond, err = sc.Apply(1, dec, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cond.CPDown || !cond.CPCorrupt {
+		t.Fatalf("hour 1 condition %+v", cond)
+	}
+	// CP faults compose with spec-rewriting faults: the link still drops.
+	both := Merge("both", sc, &Scenario{Events: []Event{{Kind: LinkDown, Start: 0, Duration: 1, Link: 0}}})
+	d2, _, cond, err := both.Apply(0, dec, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 == dec {
+		t.Fatal("link fault hour kept the same spec pointer")
+	}
+	if !cond.CPDown || len(cond.LinksDown) != 1 {
+		t.Fatalf("composed condition %+v", cond)
+	}
+}
+
+func TestFaultRandomControlPlaneOutagesDeterministic(t *testing.T) {
+	a, err := RandomControlPlaneOutages(200, 12, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomControlPlaneOutages(200, 12, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Events, b.Events) {
+		t.Fatal("same seed, different outage chains")
+	}
+	c, err := RandomControlPlaneOutages(200, 12, 3, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatal("different seeds, identical outage chains")
+	}
+	if len(a.Events) == 0 {
+		t.Fatal("mtbf 12 over 200 hours produced no outages")
+	}
+	down := 0
+	for h := 0; h < 200; h++ {
+		if a.ControlPlaneDownAt(h) {
+			down++
+		}
+	}
+	if down == 0 || down == 200 {
+		t.Fatalf("outage chain covers %d/200 hours", down)
+	}
+	for _, e := range a.Events {
+		if e.Kind != ControlPlaneDown || e.Duration <= 0 || e.Start < 0 || e.Start+e.Duration > 200 {
+			t.Fatalf("malformed event %+v", e)
+		}
+	}
+	if _, err := RandomControlPlaneOutages(0, 12, 3, 1); err == nil {
+		t.Fatal("accepted a zero horizon")
+	}
+	if _, err := RandomControlPlaneOutages(10, 0.5, 3, 1); err == nil {
+		t.Fatal("accepted mtbf < 1")
+	}
+	if _, err := RandomControlPlaneOutages(10, 12, math.NaN(), 1); err == nil {
+		t.Fatal("accepted NaN mttr")
+	}
+}
+
+func TestFaultKindStringsCoverCPKinds(t *testing.T) {
+	if ControlPlaneDown.String() != "control-plane-down" || PushCorrupt.String() != "push-corrupt" {
+		t.Fatalf("kind strings %q, %q", ControlPlaneDown.String(), PushCorrupt.String())
+	}
+}

@@ -2,6 +2,7 @@ package online
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -488,5 +489,95 @@ func TestTreeReuseIsBitForBit(t *testing.T) {
 	}
 	if touched == 0 {
 		t.Fatal("horizon never exercised the fallback trees")
+	}
+}
+
+// TestRunFirstHourDecideFails: when the very first hour's Decide fails
+// there is no last-known-good placement; the resilient fallback must run
+// the hour on the pinned-only placement (origin serves everything) and the
+// controller must report recovery on the next hour.
+func TestRunFirstHourDecideFails(t *testing.T) {
+	hours := buildHours(t)
+	inner := &AlternatingPolicy{Rng: rand.New(rand.NewSource(3))}
+	pol := &scriptedPolicy{
+		name: "first-hour-dead",
+		fn: func(call int, ctx context.Context, spec *placement.Spec, dist [][]float64) (*Decision, error) {
+			if call == 0 {
+				return nil, fmt.Errorf("injected first-hour failure")
+			}
+			return inner.Decide(ctx, spec, dist)
+		},
+	}
+	series, err := Run(context.Background(), pol, hours, Options{Resilient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Hours) != len(hours) {
+		t.Fatalf("ran %d hours", len(series.Hours))
+	}
+	h0 := series.Hours[0]
+	if h0.Source != SourceStale {
+		t.Fatalf("hour 0 source %v, want stale", h0.Source)
+	}
+	// Pinned-only fallback: every request is served from the origin, so
+	// the hour's cost is the full origin-distance volume and nothing is
+	// unserved on the intact network.
+	if h0.Unserved != 0 {
+		t.Fatalf("hour 0 unserved %v on an intact network", h0.Unserved)
+	}
+	var want float64
+	truth := hours[0].Truth
+	for _, rq := range truth.Requests() {
+		want += truth.Rates[rq.Item][rq.Node] * hours[0].Dist[0][rq.Node]
+	}
+	if math.Abs(h0.Cost-want) > 1e-9*(1+want) {
+		t.Fatalf("hour 0 cost %v, pinned-only fallback costs %v", h0.Cost, want)
+	}
+	if series.Hours[1].Source != SourceRepaired {
+		t.Fatalf("hour 1 source %v, want repaired", series.Hours[1].Source)
+	}
+	if series.DegradedHours() != 1 || series.LongestOutage() != 1 {
+		t.Fatalf("degradation accounting: %d degraded, longest %d",
+			series.DegradedHours(), series.LongestOutage())
+	}
+}
+
+// TestRunCtxCanceledMidRun: cancellation between hours aborts the walk
+// with context.Canceled — resilient or not, since resilience covers
+// decision failures, never the caller pulling the plug.
+func TestRunCtxCanceledMidRun(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"strict", Options{}},
+		{"resilient", Options{Resilient: true, MaxRetries: 1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			hours := buildHours(t)
+			ctx, cancel := context.WithCancel(context.Background())
+			const stopAfter = 2
+			pol := &scriptedPolicy{
+				name: "self-canceling",
+				fn: func(call int, dctx context.Context, spec *placement.Spec, dist [][]float64) (*Decision, error) {
+					if call == stopAfter {
+						// The caller goes away while hour 2's decision is
+						// in flight.
+						cancel()
+					}
+					return (&RNRPolicy{}).Decide(dctx, spec, dist)
+				},
+			}
+			series, err := Run(ctx, pol, hours, tc.opts)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("Run = %v, want context.Canceled", err)
+			}
+			if series != nil {
+				t.Fatalf("canceled Run returned a series")
+			}
+			if pol.calls != stopAfter+1 {
+				t.Fatalf("policy ran %d times after cancellation at call %d", pol.calls, stopAfter)
+			}
+		})
 	}
 }

@@ -142,3 +142,90 @@ func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) 
 	}
 	return out, nil
 }
+
+// Group supervises a small, fixed set of long-running concurrent members —
+// the serving binary's control-plane loop running beside its load
+// generator, for example — with the same guarantees Do gives fan-out work:
+// every member is joined before Wait returns, a member panic is re-raised
+// on the waiting goroutine instead of crashing the process from nowhere,
+// and the reported error is deterministic (the lowest spawn index that
+// failed, not whichever member lost a race). The first failing member also
+// cancels the group context, so cooperating members shut down instead of
+// running on under a dead sibling.
+//
+// A Group is not a worker pool: members are few, named by spawn order, and
+// expected to run for the whole session. Index-parallel work still belongs
+// in Do/Map.
+type Group struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	errs   []error
+	panicV any
+}
+
+// NewGroup returns a group whose members observe a context derived from
+// parent: it is canceled when any member fails, panics, or when the parent
+// itself is canceled. The returned context is the one members must watch.
+func NewGroup(parent context.Context) (*Group, context.Context) {
+	if parent == nil {
+		//jcrlint:allow bg-context: nil parent means "no outer cancellation", matching Do's nil-ctx contract; the group still needs a root to derive its own cancel from
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithCancel(parent)
+	return &Group{ctx: ctx, cancel: cancel}, ctx
+}
+
+// Go spawns one supervised member. The member's error (or nil) is recorded
+// at its spawn index; the first non-nil error cancels the group context.
+// Go must not be called after Wait has returned.
+func (g *Group) Go(fn func(ctx context.Context) error) {
+	g.mu.Lock()
+	idx := len(g.errs)
+	g.errs = append(g.errs, nil)
+	g.mu.Unlock()
+	g.wg.Add(1)
+	//jcrlint:allow go-stmt: this package IS the supervised concurrency substrate; Group members are joined by Wait with panics re-raised and deterministic error selection
+	go func() {
+		defer g.wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				g.mu.Lock()
+				if g.panicV == nil {
+					g.panicV = r
+				}
+				g.mu.Unlock()
+				g.cancel()
+			}
+		}()
+		err := fn(g.ctx)
+		if err != nil {
+			g.mu.Lock()
+			g.errs[idx] = err
+			g.mu.Unlock()
+			g.cancel()
+		}
+	}()
+}
+
+// Wait joins every member, cancels the group context, re-raises the first
+// recorded member panic, and returns the error of the lowest-index failing
+// member (nil when all succeeded).
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.cancel()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.panicV != nil {
+		//jcrlint:allow lib-panic: re-raises a member panic on the waiting goroutine
+		panic(g.panicV)
+	}
+	for _, err := range g.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

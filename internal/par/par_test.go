@@ -112,3 +112,78 @@ func TestDoPropagatesPanic(t *testing.T) {
 		return nil
 	})
 }
+
+func TestGroupJoinsAllMembers(t *testing.T) {
+	grp, _ := NewGroup(context.Background())
+	var done [3]atomic.Bool
+	for i := 0; i < 3; i++ {
+		i := i
+		grp.Go(func(ctx context.Context) error {
+			done[i].Store(true)
+			return nil
+		})
+	}
+	if err := grp.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range done {
+		if !done[i].Load() {
+			t.Fatalf("member %d not joined", i)
+		}
+	}
+}
+
+func TestGroupReturnsLowestIndexError(t *testing.T) {
+	grp, _ := NewGroup(nil)
+	errA := errors.New("a")
+	errB := errors.New("b")
+	release := make(chan struct{})
+	grp.Go(func(ctx context.Context) error { <-release; return errA })
+	grp.Go(func(ctx context.Context) error { return errB })
+	close(release)
+	if err := grp.Wait(); err != errA {
+		t.Fatalf("Wait = %v, want the lowest-index error %v", err, errA)
+	}
+}
+
+func TestGroupCancelsOnFirstFailure(t *testing.T) {
+	grp, ctx := NewGroup(context.Background())
+	grp.Go(func(ctx context.Context) error { return errors.New("boom") })
+	grp.Go(func(ctx context.Context) error {
+		<-ctx.Done() // must be released by the sibling's failure
+		return ctx.Err()
+	})
+	err := grp.Wait()
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("Wait = %v", err)
+	}
+	if ctx.Err() == nil {
+		t.Fatal("group context not canceled after Wait")
+	}
+}
+
+func TestGroupParentCancellationReachesMembers(t *testing.T) {
+	parent, cancel := context.WithCancel(context.Background())
+	grp, _ := NewGroup(parent)
+	grp.Go(func(ctx context.Context) error {
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	cancel()
+	if err := grp.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v", err)
+	}
+}
+
+func TestGroupRepanicsMemberPanic(t *testing.T) {
+	grp, _ := NewGroup(context.Background())
+	grp.Go(func(ctx context.Context) error { panic("kaboom") })
+	grp.Go(func(ctx context.Context) error { <-ctx.Done(); return nil })
+	defer func() {
+		if r := recover(); r != "kaboom" {
+			t.Fatalf("recovered %v", r)
+		}
+	}()
+	grp.Wait()
+	t.Fatal("Wait returned instead of re-panicking")
+}

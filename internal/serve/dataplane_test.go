@@ -1,0 +1,248 @@
+package serve
+
+import (
+	"math"
+	"testing"
+
+	"jcr/internal/graph"
+	"jcr/internal/placement"
+)
+
+func testDataPlane(t *testing.T, s *placement.Spec) *DataPlane {
+	t.Helper()
+	dp, err := NewDataPlane(s.G, s.Pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dp
+}
+
+func TestFailsafeTable(t *testing.T) {
+	s := testSpec(t)
+	fs, err := NewFailsafe(s.G, s.Pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d", fs.NumNodes())
+	}
+	// All nodes are reachable from the pinned origin; costs follow the
+	// tree 0-1-{2,3}.
+	want := []float64{0, 50, 52, 53}
+	for v := 0; v < 4; v++ {
+		if fs.Server(v) != 0 {
+			t.Fatalf("node %d server = %d", v, fs.Server(v))
+		}
+		if fs.Cost(v) != want[v] {
+			t.Fatalf("node %d cost = %v, want %v", v, fs.Cost(v), want[v])
+		}
+	}
+	if _, err := NewFailsafe(s.G, nil); err == nil {
+		t.Fatal("built a fail-safe table with no servers")
+	}
+	if _, err := NewFailsafe(s.G, []graph.NodeID{7}); err == nil {
+		t.Fatal("built a fail-safe table with an out-of-range server")
+	}
+}
+
+func TestFailsafeUnreachableNode(t *testing.T) {
+	// Node 2 is disconnected from the server.
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1, 100)
+	dp, err := NewDataPlane(g, []graph.NodeID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := dp.Lookup(0, 2, 0)
+	if rt.Kind != RouteNone || rt.Resolved() {
+		t.Fatalf("unreachable node resolved to %v", rt.Kind)
+	}
+	if m := dp.Snapshot(0); m.Unresolved != 1 || m.Lookups != 1 {
+		t.Fatalf("metrics %+v", m)
+	}
+}
+
+func TestLookupLadder(t *testing.T) {
+	s := testSpec(t)
+	dp := testDataPlane(t, s)
+
+	// No plan installed: everything serves fail-safe from the origin.
+	rt := dp.Lookup(0, 2, 0)
+	if rt.Kind != RouteFailsafe || rt.Replica != 0 {
+		t.Fatalf("pre-plan lookup = %+v", rt)
+	}
+	if rt.Hops() != 2 || rt.Node(0) != 0 || rt.Node(rt.Hops()) != 2 {
+		t.Fatalf("fail-safe path endpoints wrong: hops=%d", rt.Hops())
+	}
+	if rt.Epoch != 0 {
+		t.Fatalf("fail-safe route carries epoch %d", rt.Epoch)
+	}
+
+	pl, paths := solveRNR(t, s)
+	p, err := Compile(s, pl, paths, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dp.Install(p); err != nil {
+		t.Fatal(err)
+	}
+
+	// Covered request now serves from the plan, matching the batch route.
+	rt = dp.Lookup(0, 2, 0)
+	if rt.Kind != RoutePlan || rt.Epoch != 1 {
+		t.Fatalf("post-plan lookup = %+v", rt)
+	}
+	rs, ok := p.Routes(0, 2)
+	if !ok {
+		t.Fatal("plan has no routes for (0,2)")
+	}
+	if rt.Replica != rs.Replica(0) || rt.Cost != rs.Cost(0) || rt.Hops() != rs.Path(0).Len() {
+		t.Fatalf("lookup %+v disagrees with plan route", rt)
+	}
+
+	// A request outside the plan's catalog degrades to fail-safe, not an
+	// error: the stale-plan ladder.
+	rt = dp.Lookup(s.NumItems+3, 2, 0)
+	if rt.Kind != RouteFailsafe {
+		t.Fatalf("out-of-catalog lookup = %v", rt.Kind)
+	}
+	// Out-of-universe node degrades to RouteNone.
+	rt = dp.Lookup(0, 99, 0)
+	if rt.Kind != RouteNone {
+		t.Fatalf("out-of-universe lookup = %v", rt.Kind)
+	}
+
+	m := dp.Snapshot(250)
+	if m.Lookups != 4 || m.PlanServed != 1 || m.FailsafeServed != 2 || m.Unresolved != 1 {
+		t.Fatalf("metrics %+v", m)
+	}
+	if m.PlanEpoch != 1 || m.PlanAgeNanos != 150 {
+		t.Fatalf("plan identity %+v", m)
+	}
+	if f := m.FallbackFraction(); f != 0.75 {
+		t.Fatalf("fallback fraction %v", f)
+	}
+}
+
+func TestInstallGates(t *testing.T) {
+	s := testSpec(t)
+	dp := testDataPlane(t, s)
+	pl, paths := solveRNR(t, s)
+	p, err := Compile(s, pl, paths, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := dp.Install(nil); err == nil {
+		t.Fatal("installed a nil plan")
+	}
+	other := graph.New(2)
+	other.AddEdge(0, 1, 1, 10)
+	op := &placement.Spec{G: other, NumItems: 1, CacheCap: []float64{0, 0}, Pinned: []graph.NodeID{0}, Rates: [][]float64{{0, 1}}}
+	opl, opaths := solveRNR(t, op)
+	wrong, err := Compile(op, opl, opaths, 9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dp.Install(wrong); err == nil {
+		t.Fatal("installed a plan for a different node universe")
+	}
+	if err := dp.Install(CorruptPlan(p, 1)); err == nil {
+		t.Fatal("installed a corrupted plan")
+	}
+	if dp.Plan() != nil || dp.Epoch() != 0 {
+		t.Fatal("rejected pushes must leave no plan installed")
+	}
+
+	if err := dp.Install(p); err != nil {
+		t.Fatal(err)
+	}
+	// Replay and stale epochs are rejected; the installed plan survives.
+	if err := dp.Install(p.Clone()); err == nil {
+		t.Fatal("installed an epoch replay")
+	}
+	older := p.Clone()
+	older.Epoch = 4
+	if err := dp.Install(older); err == nil {
+		t.Fatal("installed an older epoch")
+	}
+	newer := p.Clone()
+	newer.Epoch = 6
+	if err := dp.Install(newer); err != nil {
+		t.Fatal(err)
+	}
+	m := dp.Snapshot(0)
+	if m.Swaps != 2 || m.RejectedPushes != 5 {
+		t.Fatalf("swap accounting %+v", m)
+	}
+	if dp.Epoch() != 6 {
+		t.Fatalf("epoch %d after swaps", dp.Epoch())
+	}
+}
+
+// TestWeightedPickCoversSplits drives pick over its range on a group with
+// split routes and checks the choice is rate-weighted and exhaustive.
+func TestWeightedPickCoversSplits(t *testing.T) {
+	// Two parallel unit-cost arcs from 1 to 2 would need a multigraph;
+	// instead split request (0,2) across two replicas via hand-built
+	// paths: a local hit at 2 and a route from 3.
+	g := graph.New(4)
+	g.AddEdge(0, 1, 50, 100)
+	g.AddEdge(1, 2, 2, 100)
+	g.AddEdge(2, 3, 3, 100)
+	s := &placement.Spec{
+		G:        g,
+		NumItems: 1,
+		CacheCap: []float64{0, 0, 1, 1},
+		Pinned:   []graph.NodeID{0},
+		Rates:    [][]float64{{0, 0, 9, 0}},
+	}
+	pl := s.NewPlacement()
+	pl.Stores[2][0] = true
+	pl.Stores[3][0] = true
+	tree := graph.TreeOf(g, 3)
+	p32, ok := tree.PathTo(g, 2)
+	if !ok {
+		t.Fatal("no path 3->2")
+	}
+	paths := []placement.ServingPath{
+		{Req: placement.Request{Item: 0, Node: 2}, Rate: 6},            // local hit, weight 2/3
+		{Req: placement.Request{Item: 0, Node: 2}, Path: p32, Rate: 3}, // from 3, weight 1/3
+	}
+	plan, err := Compile(s, pl, paths, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := NewDataPlane(g, s.Pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dp.Install(plan); err != nil {
+		t.Fatal(err)
+	}
+	if rt := dp.Lookup(0, 2, 0); rt.Replica != 2 || rt.Hops() != 0 {
+		t.Fatalf("pick=0 chose %+v, want the local hit", rt)
+	}
+	if rt := dp.Lookup(0, 2, math.MaxUint64); rt.Replica != 3 || rt.Hops() != 1 {
+		t.Fatalf("pick=max chose %+v, want the route from 3", rt)
+	}
+	// Sweeping pick uniformly lands on the two routes in 2:1 proportion.
+	const sweeps = 3000
+	hits := map[graph.NodeID]int{}
+	for k := 0; k < sweeps; k++ {
+		pick := uint64(k) * (math.MaxUint64 / sweeps)
+		hits[dp.Lookup(0, 2, pick).Replica]++
+	}
+	frac := float64(hits[2]) / sweeps
+	if frac < 0.63 || frac > 0.70 {
+		t.Fatalf("local-hit fraction %v, want ~2/3 (hits %v)", frac, hits)
+	}
+}
+
+func TestRouteKindString(t *testing.T) {
+	for k, want := range map[RouteKind]string{RoutePlan: "plan", RouteFailsafe: "failsafe", RouteNone: "none", RouteKind(9): "RouteKind(9)"} {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q", k, k.String())
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"jcr/internal/par"
+	"jcr/internal/placement"
+	"jcr/internal/rng"
+)
+
+// LoadStats tallies one load-generation run by ladder rung.
+type LoadStats struct {
+	// Lookups is the number of lookups issued; Plan, Failsafe and
+	// Unresolved partition it by how each resolved.
+	Lookups, Plan, Failsafe, Unresolved uint64
+}
+
+// Add accumulates another stats block.
+func (s *LoadStats) Add(o LoadStats) {
+	s.Lookups += o.Lookups
+	s.Plan += o.Plan
+	s.Failsafe += o.Failsafe
+	s.Unresolved += o.Unresolved
+}
+
+// ResolvedFraction is the fraction of lookups that produced a usable route
+// (1 when no lookups ran). The chaos tests pin this at exactly 1.
+func (s LoadStats) ResolvedFraction() float64 {
+	if s.Lookups == 0 {
+		return 1
+	}
+	return 1 - float64(s.Unresolved)/float64(s.Lookups)
+}
+
+// RunLoad fires total lookups at the data plane, sampling requests from
+// spec's demand distribution (rate-weighted over spec.Requests()), spread
+// over the given worker count (par.Workers semantics: <=0 means
+// GOMAXPROCS). Each worker draws from its own rng.Derive(seed, worker)
+// stream, so the issued request sequence is a pure function of (seed,
+// workers) regardless of scheduling; the returned stats are merged sums and
+// fully deterministic. Lookups race concurrent plan swaps by design — that
+// is the point of the chaos tests — and every lookup must still resolve on
+// a connected network.
+func RunLoad(ctx context.Context, dp *DataPlane, spec *placement.Spec, total, workers int, seed int64) (LoadStats, error) {
+	reqs := spec.Requests()
+	if len(reqs) == 0 {
+		return LoadStats{}, fmt.Errorf("serve: load generation needs demand, spec has none")
+	}
+	// Cumulative rate weights for sampling; cum[k] is the total rate of
+	// requests [0, k].
+	cum := make([]float64, len(reqs))
+	var totalRate float64
+	for k, rq := range reqs {
+		totalRate += spec.Rates[rq.Item][rq.Node]
+		cum[k] = totalRate
+	}
+	if totalRate <= 0 {
+		return LoadStats{}, fmt.Errorf("serve: load generation needs positive demand, spec sums to %g", totalRate)
+	}
+	w := par.Workers(workers, total)
+	per, err := par.Map(ctx, w, w, func(i int) (LoadStats, error) {
+		share := total / w
+		if i < total%w {
+			share++
+		}
+		r := rng.Derive(seed, int64(i))
+		var st LoadStats
+		for k := 0; k < share; k++ {
+			if ctx != nil && k&1023 == 0 {
+				if err := ctx.Err(); err != nil {
+					return st, err
+				}
+			}
+			x := r.Float64() * totalRate
+			idx := sort.SearchFloat64s(cum, x)
+			if idx >= len(reqs) {
+				idx = len(reqs) - 1
+			}
+			rq := reqs[idx]
+			rt := dp.Lookup(rq.Item, rq.Node, r.Uint64())
+			st.Lookups++
+			switch rt.Kind {
+			case RoutePlan:
+				st.Plan++
+			case RouteFailsafe:
+				st.Failsafe++
+			default:
+				st.Unresolved++
+			}
+		}
+		return st, nil
+	})
+	if err != nil {
+		return LoadStats{}, err
+	}
+	var out LoadStats
+	for _, st := range per {
+		out.Add(st)
+	}
+	return out, nil
+}

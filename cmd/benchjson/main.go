@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	benchjson [-out BENCH_pr5.json] [-mc 1] [-only lp_solver,alternating]
+//	benchjson [-out BENCH_pr8.json] [-mc 1] [-only lp_solver,alternating]
 //	benchjson -compare [-names lp_sparse_solve_placement,...] old.json new.json
 //
 // Compare mode reads two reports and exits non-zero when any compared
@@ -29,11 +29,13 @@ import (
 
 	"jcr/internal/core"
 	"jcr/internal/core/lputil"
+	"jcr/internal/demand"
 	"jcr/internal/experiments"
 	"jcr/internal/graph"
 	"jcr/internal/lp"
 	"jcr/internal/msufp"
 	"jcr/internal/placement"
+	"jcr/internal/strategy"
 	"jcr/internal/topo"
 )
 
@@ -63,7 +65,7 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr7.json", "output file ('-' = stdout)")
+	out := flag.String("out", "BENCH_pr8.json", "output file ('-' = stdout)")
 	mc := flag.Int("mc", 1, "Monte-Carlo runs for the experiment-harness timings")
 	repeat := flag.Int("repeat", 1, "repetitions per micro-benchmark; the minimum ns/op is reported (damps machine noise for compare mode)")
 	compare := flag.Bool("compare", false, "compare two report files (old new) and exit non-zero on regression")
@@ -328,6 +330,57 @@ func main() {
 		}
 		rep.Benchmarks = append(rep.Benchmarks, Result{
 			Name:       "harness_" + id,
+			Iterations: 1,
+			NsPerOp:    float64(time.Since(start).Nanoseconds()),
+		})
+	}
+
+	// Per-strategy Decide wall times (PR-8): every registered strategy on
+	// one arena-scale cell (the quick grid's clean Abovenet cell), the
+	// per-plan latency the scorecard's wall-ms column tracks. Strategies
+	// whose size gate rejects the cell (the brute-force exact solver) are
+	// skipped, mirroring the arena.
+	var decideSpec *placement.Spec
+	var decideDist [][]float64
+	for _, name := range strategy.Names() {
+		bname := "decide_" + strings.ReplaceAll(name, "-", "_")
+		if !want(bname) {
+			continue
+		}
+		if decideSpec == nil {
+			decideSpec = arenaDecideSpec()
+			decideDist = graph.AllPairs(decideSpec.G)
+		}
+		inst := strategy.Instance{Spec: decideSpec, Dist: decideDist}
+		opts := strategy.Options{Seed: 1, BestEffort: true, NoSolverReuse: true}
+		if st := strategy.MustNew(name, opts); func() bool {
+			sized, ok := st.(strategy.Sized)
+			return ok && !sized.Fits(inst)
+		}() {
+			continue
+		}
+		res := bench(func(tb *testing.B) {
+			tb.ReportAllocs()
+			for i := 0; i < tb.N; i++ {
+				st := strategy.MustNew(name, opts) // fresh: no warm-start carry-over
+				if _, _, err := st.Decide(context.Background(), inst); err != nil {
+					tb.Fatal(err)
+				}
+			}
+		})
+		rep.Benchmarks = append(rep.Benchmarks, toResult(bname, res))
+	}
+
+	// Arena smoke wall time: one timed pass of the CI quick grid (every
+	// strategy on a clean and a faulty cell), the end-to-end number the
+	// scorecard pipeline costs.
+	if want("arena_quick") {
+		start := time.Now()
+		if _, err := experiments.Arena(context.Background(), cfg, true); err != nil {
+			fatal(fmt.Errorf("arena_quick: %w", err))
+		}
+		rep.Benchmarks = append(rep.Benchmarks, Result{
+			Name:       "arena_quick",
 			Iterations: 1,
 			NsPerOp:    float64(time.Since(start).Nanoseconds()),
 		})
@@ -632,4 +685,46 @@ func msufpInstance() *msufp.Instance {
 		aux.G.SetArcCap(id, net.G.Arc(id).Cap)
 	}
 	return inst
+}
+
+// arenaDecideSpec builds the per-strategy Decide benchmark's instance:
+// the arena quick grid's clean cell (Abovenet, 24-item catalog, Zipf 0.8
+// demand spread over the edge nodes, uniform capacities augmented to
+// feasibility, chunk-slot edge caches).
+func arenaDecideSpec() *placement.Spec {
+	const items = 24
+	const totalRate = 10000.0
+	net := topo.Abovenet(1)
+	r := rand.New(rand.NewSource(3))
+	net.AssignCosts(r, 100, 200, 1, 20)
+	pop := demand.Zipf(items, 0.8)
+	itemRates := make([]float64, items)
+	for i := range itemRates {
+		itemRates[i] = pop[i] * totalRate
+	}
+	perEdge := demand.SpreadToEdges(itemRates, len(net.Edges), r)
+	rates := make([][]float64, items)
+	edgeTotals := make([]float64, len(net.Edges))
+	for i := range rates {
+		rates[i] = make([]float64, net.G.NumNodes())
+		for e, v := range net.Edges {
+			rates[i][v] = perEdge[i][e]
+			edgeTotals[e] += perEdge[i][e]
+		}
+	}
+	net.SetUniformCapacity(0.02 * totalRate)
+	if err := net.AugmentFeasibility(edgeTotals); err != nil {
+		fatal(err)
+	}
+	cacheCap := make([]float64, net.G.NumNodes())
+	for _, v := range net.Edges {
+		cacheCap[v] = 12
+	}
+	return &placement.Spec{
+		G:        net.G,
+		NumItems: items,
+		CacheCap: cacheCap,
+		Pinned:   []graph.NodeID{net.Origin},
+		Rates:    rates,
+	}
 }

@@ -50,6 +50,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		seed    = fs.Int64("seed", 0, "random seed (0 = default)")
 		k       = fs.Int("k", 0, "candidate paths for the [3] baseline (0 = default)")
 		csv     = fs.Bool("csv", false, "emit figure data as CSV instead of text tables")
+		quick   = fs.Bool("quick", false, "run the CI smoke grid of scorecard experiments (-exp arena)")
 		out     = fs.String("out", "results", "directory for CSV archives of figure data ('' = no archive)")
 		workers = fs.Int("workers", 0, "worker-pool width for Monte-Carlo runs and solver fan-out (0 = GOMAXPROCS)")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -85,21 +86,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			}
 		}()
 	}
-	if err := runMain(ctx, stdout, *list, *exp, *mc, *hours, *seed, *k, *workers, *csv, *out); err != nil {
+	if err := runMain(ctx, stdout, *list, *exp, *mc, *hours, *seed, *k, *workers, *csv, *quick, *out); err != nil {
 		fmt.Fprintln(stderr, "jcrsim:", err)
 		return 1
 	}
 	return 0
 }
 
-func runMain(ctx context.Context, stdout io.Writer, list bool, exp string, mc int, hours string, seed int64, k, workers int, csv bool, out string) error {
+func runMain(ctx context.Context, stdout io.Writer, list bool, exp string, mc int, hours string, seed int64, k, workers int, csv, quick bool, out string) error {
 	if list || exp == "" {
 		fmt.Fprintln(stdout, "available experiments:")
 		for _, e := range experiments.Registry() {
 			fmt.Fprintf(stdout, "  %-8s %s\n", e.ID, e.Description)
 		}
 		if exp == "" && !list {
-			return fmt.Errorf("pass -exp <id> or -list")
+			return fmt.Errorf("pass -exp <id> or -list (ids: %s)", strings.Join(experiments.IDs(), ", "))
 		}
 		return nil
 	}
@@ -153,6 +154,9 @@ func runMain(ctx context.Context, stdout io.Writer, list bool, exp string, mc in
 	if err != nil {
 		return err
 	}
+	if e.Score != nil {
+		return runScorecard(ctx, stdout, e, cfg, quick, out)
+	}
 	if e.Figures == nil {
 		if csv {
 			return fmt.Errorf("experiment %q has no figure data for CSV export", e.ID)
@@ -184,6 +188,48 @@ func runMain(ctx context.Context, stdout io.Writer, list bool, exp string, mc in
 		}
 		fmt.Fprintf(stdout, "archived figure data to %s\n", path)
 	}
+	return nil
+}
+
+// runScorecard runs a scorecard experiment (the arena), prints the ranked
+// table, archives it as CSV and JSON under -out, and enforces the
+// dominance claims EXPERIMENTS.md makes: the alternating optimizer is
+// never strictly dominated on served fraction, and it beats the
+// fixed-path Ioannidis-Yeh baseline on expected delay.
+func runScorecard(ctx context.Context, stdout io.Writer, e experiments.Experiment, cfg *experiments.Config, quick bool, out string) error {
+	sc, err := e.Score(ctx, cfg, quick)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, sc.Render())
+	if out != "" {
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			return err
+		}
+		id := e.ID
+		if quick {
+			id += "_quick"
+		}
+		base := filepath.Join(out, fmt.Sprintf("%s_scorecard_seed%d", id, cfg.Seed))
+		if err := os.WriteFile(base+".csv", []byte(sc.CSV()), 0o644); err != nil {
+			return fmt.Errorf("archiving %s: %w", e.ID, err)
+		}
+		js, err := sc.JSON()
+		if err != nil {
+			return fmt.Errorf("marshaling %s scorecard: %w", e.ID, err)
+		}
+		if err := os.WriteFile(base+".json", append(js, '\n'), 0o644); err != nil {
+			return fmt.Errorf("archiving %s: %w", e.ID, err)
+		}
+		fmt.Fprintf(stdout, "archived scorecard to %s.{csv,json}\n", base)
+	}
+	if err := sc.NeverDominatedOnServed("alternating"); err != nil {
+		return err
+	}
+	if err := sc.DelayDominates("alternating", "iy-fixedpath"); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "dominance check: alternating never dominated on served fraction; beats iy-fixedpath on expected delay")
 	return nil
 }
 

@@ -9,6 +9,7 @@
 package exact
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -29,7 +30,22 @@ const (
 	maxPlacements = 200000
 	maxPathsPer   = 48
 	maxRequests   = 12
+	maxSlots      = 22 // 2^22 placements is already generous
 )
+
+// Fits reports whether a spec is within the brute-force structural limits
+// (cache slots and request count). It is a quick pre-check: enumeration
+// can still abort with ErrTooLarge when the feasible-placement count or a
+// request's candidate-path count blows up.
+func Fits(s *placement.Spec) bool {
+	slots := 0
+	for v := 0; v < s.G.NumNodes(); v++ {
+		if s.CacheCap[v] > 0 && !s.IsPinned(v) {
+			slots += s.NumItems
+		}
+	}
+	return slots <= maxSlots && len(s.Requests()) <= maxRequests
+}
 
 // capSlack absorbs floating-point residue (relative and absolute) when
 // comparing occupancies and loads against cache and link capacities.
@@ -39,18 +55,38 @@ const capSlack = 1e-9
 type Result struct {
 	Cost      float64
 	Placement *placement.Placement
+	// Paths is the optimal integral routing (one full-rate serving path
+	// per request), recorded by SolveICIR; nil for SolveICFR, whose
+	// fractional routing is characterized only by its cost.
+	Paths []placement.ServingPath
 }
+
+// ctxStride is how many enumerated placements go by between cancellation
+// polls; a power of two so the check is a mask.
+const ctxStride = 256
 
 // SolveICFR computes the exact IC-FR optimum (integral caching, fractional
 // routing) by enumerating all cache-feasible integral placements and
 // solving each routing subproblem exactly. Homogeneous or heterogeneous
 // item sizes are both supported.
 func SolveICFR(s *placement.Spec) (*Result, error) {
+	return SolveICFRContext(nil, s)
+}
+
+// SolveICFRContext is SolveICFR with cooperative cancellation: ctx is
+// polled every few hundred enumerated placements. A nil ctx means no
+// cancellation (identical to SolveICFR).
+func SolveICFRContext(ctx context.Context, s *placement.Spec) (*Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("exact: %w", err)
+		}
+	}
 	best := &Result{Cost: math.Inf(1)}
-	err := enumeratePlacements(s, func(pl *placement.Placement) error {
+	err := enumeratePlacements(ctx, s, func(pl *placement.Placement) error {
 		cost, err := routing.SolveMMSFPExact(s, pl)
 		if err != nil {
 			return nil // this placement cannot serve the demand; skip
@@ -75,22 +111,43 @@ func SolveICFR(s *placement.Spec) (*Result, error) {
 // simple path from one replica, subject to joint link capacities;
 // branch-and-bound prunes on accumulated cost and capacity.
 func SolveICIR(s *placement.Spec) (*Result, error) {
+	return SolveICIRContext(nil, s)
+}
+
+// SolveICIRContext is SolveICIR with cooperative cancellation: ctx is
+// polled every few hundred enumerated placements. A nil ctx means no
+// cancellation (identical to SolveICIR). The result additionally records
+// the optimal per-request serving paths.
+func SolveICIRContext(ctx context.Context, s *placement.Spec) (*Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("exact: %w", err)
+		}
 	}
 	reqs := s.Requests()
 	if len(reqs) > maxRequests {
 		return nil, fmt.Errorf("%w: %d requests (max %d)", ErrTooLarge, len(reqs), maxRequests)
 	}
 	best := &Result{Cost: math.Inf(1)}
-	err := enumeratePlacements(s, func(pl *placement.Placement) error {
-		cost, ok, err := bestIntegralRouting(s, pl, reqs, best.Cost)
+	err := enumeratePlacements(ctx, s, func(pl *placement.Placement) error {
+		cost, arcs, ok, err := bestIntegralRouting(s, pl, reqs, best.Cost)
 		if err != nil {
 			return err
 		}
 		if ok && cost < best.Cost {
 			best.Cost = cost
 			best.Placement = clonePlacement(pl)
+			best.Paths = best.Paths[:0]
+			for ri, rq := range reqs {
+				best.Paths = append(best.Paths, placement.ServingPath{
+					Req:  rq,
+					Path: graph.Path{Arcs: arcs[ri]},
+					Rate: s.Rates[rq.Item][rq.Node],
+				})
+			}
 		}
 		return nil
 	})
@@ -104,8 +161,8 @@ func SolveICIR(s *placement.Spec) (*Result, error) {
 }
 
 // enumeratePlacements calls fn for every cache-feasible placement (pinned
-// nodes always store everything).
-func enumeratePlacements(s *placement.Spec, fn func(*placement.Placement) error) error {
+// nodes always store everything), polling ctx every ctxStride placements.
+func enumeratePlacements(ctx context.Context, s *placement.Spec, fn func(*placement.Placement) error) error {
 	type slot struct {
 		v graph.NodeID
 		i int
@@ -119,7 +176,7 @@ func enumeratePlacements(s *placement.Spec, fn func(*placement.Placement) error)
 			slots = append(slots, slot{v, i})
 		}
 	}
-	if len(slots) > 22 { // 2^22 placements is already generous
+	if len(slots) > maxSlots {
 		return fmt.Errorf("%w: %d cache slots", ErrTooLarge, len(slots))
 	}
 	pl := s.NewPlacement()
@@ -134,6 +191,11 @@ func enumeratePlacements(s *placement.Spec, fn func(*placement.Placement) error)
 			count++
 			if count > maxPlacements {
 				return fmt.Errorf("%w: more than %d placements", ErrTooLarge, maxPlacements)
+			}
+			if ctx != nil && count%ctxStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("exact: canceled after %d placements: %w", count, err)
+				}
 			}
 			return fn(pl)
 		}
@@ -157,8 +219,10 @@ func enumeratePlacements(s *placement.Spec, fn func(*placement.Placement) error)
 
 // bestIntegralRouting finds the cheapest capacity-feasible assignment of
 // one simple path per request under the placement, pruning branches whose
-// partial cost reaches `bound`. The boolean result reports feasibility.
-func bestIntegralRouting(s *placement.Spec, pl *placement.Placement, reqs []placement.Request, bound float64) (float64, bool, error) {
+// partial cost reaches `bound`. The boolean result reports feasibility;
+// when feasible, the second result holds the winning arc sequence per
+// request (empty for a local hit), aligned with reqs.
+func bestIntegralRouting(s *placement.Spec, pl *placement.Placement, reqs []placement.Request, bound float64) (float64, [][]graph.ArcID, bool, error) {
 	// Candidate paths per request: all simple paths from every replica.
 	type option struct {
 		arcs []graph.ArcID
@@ -180,11 +244,11 @@ func bestIntegralRouting(s *placement.Spec, pl *placement.Placement, reqs []plac
 				opts = append(opts, option{arcs: p.Arcs, cost: p.Cost(s.G)})
 			}
 			if len(opts) > maxPathsPer {
-				return 0, false, fmt.Errorf("%w: request %v has too many candidate paths", ErrTooLarge, rq)
+				return 0, nil, false, fmt.Errorf("%w: request %v has too many candidate paths", ErrTooLarge, rq)
 			}
 		}
 		if len(opts) == 0 {
-			return 0, false, nil // unservable under this placement
+			return 0, nil, false, nil // unservable under this placement
 		}
 		// Cheapest first for tighter pruning.
 		for a := 1; a < len(opts); a++ {
@@ -197,6 +261,8 @@ func bestIntegralRouting(s *placement.Spec, pl *placement.Placement, reqs []plac
 	load := make([]float64, s.G.NumArcs())
 	best := bound
 	found := false
+	choice := make([]int, len(reqs))
+	bestChoice := make([]int, len(reqs))
 	var rec func(ri int, cost float64)
 	rec = func(ri int, cost float64) {
 		if cost >= best {
@@ -205,10 +271,11 @@ func bestIntegralRouting(s *placement.Spec, pl *placement.Placement, reqs []plac
 		if ri == len(reqs) {
 			best = cost
 			found = true
+			copy(bestChoice, choice)
 			return
 		}
 		lam := s.Rates[reqs[ri].Item][reqs[ri].Node]
-		for _, opt := range options[ri] {
+		for oi, opt := range options[ri] {
 			ok := true
 			for _, id := range opt.arcs {
 				if load[id]+lam > s.G.Arc(id).Cap*(1+capSlack)+capSlack {
@@ -222,6 +289,7 @@ func bestIntegralRouting(s *placement.Spec, pl *placement.Placement, reqs []plac
 			for _, id := range opt.arcs {
 				load[id] += lam
 			}
+			choice[ri] = oi
 			rec(ri+1, cost+lam*opt.cost)
 			for _, id := range opt.arcs {
 				load[id] -= lam
@@ -229,7 +297,14 @@ func bestIntegralRouting(s *placement.Spec, pl *placement.Placement, reqs []plac
 		}
 	}
 	rec(0, 0)
-	return best, found, nil
+	if !found {
+		return best, nil, false, nil
+	}
+	arcs := make([][]graph.ArcID, len(reqs))
+	for ri := range reqs {
+		arcs[ri] = append([]graph.ArcID(nil), options[ri][bestChoice[ri]].arcs...)
+	}
+	return best, arcs, true, nil
 }
 
 // allSimplePaths enumerates up to limit simple paths from src to dst.

@@ -171,7 +171,7 @@ func TestEnumeratePlacementsRespectsCapacity(t *testing.T) {
 		s.CacheCap[v] = 2
 	}
 	count := 0
-	err := enumeratePlacements(s, func(pl *placement.Placement) error {
+	err := enumeratePlacements(nil, s, func(pl *placement.Placement) error {
 		count++
 		return s.CheckFeasible(pl)
 	})

@@ -4,11 +4,11 @@ import (
 	"fmt"
 	"strings"
 
-	"jcr/internal/core"
 	"jcr/internal/graph"
 	"jcr/internal/placement"
 	"jcr/internal/rng"
 	"jcr/internal/routing"
+	"jcr/internal/strategy"
 )
 
 // Ablation quantifies the design choices DESIGN.md calls out:
@@ -90,10 +90,11 @@ func Ablation(cfg *Config) (string, error) {
 	b.WriteString("\n3) MMUFP randomized rounding: best of N independent draws\n")
 	fmt.Fprintf(&b, "   %-14s %14s %14s\n", "draws", "cost", "congestion")
 	for _, trials := range []int{1, 5, 20} {
-		sol, err := core.Alternating(genRun.Decision, core.AlternatingOptions{
-			Routing: routing.Options{RoundingTrials: trials},
-			Rng:     rng.New(9),
-		})
+		sol, _, err := strategy.MustNew("alternating", strategy.Options{
+			RoundingTrials: trials,
+			Rng:            rng.New(9),
+			NoSolverReuse:  true,
+		}).Decide(nil, strategy.Instance{Spec: genRun.Decision, Dist: genRun.Dist})
 		if err != nil {
 			return "", err
 		}

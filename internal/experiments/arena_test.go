@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestArenaQuick runs the CI smoke grid end to end and checks the
+// scorecard's structural invariants plus the two dominance claims the
+// CLI enforces.
+func TestArenaQuick(t *testing.T) {
+	cfg := tinyConfig()
+	sc, err := Arena(context.Background(), cfg, true)
+	if err != nil {
+		t.Fatalf("Arena: %v", err)
+	}
+	if len(sc.Cells) != 2 {
+		t.Fatalf("quick grid has %d cells, want 2 (clean+faulty)", len(sc.Cells))
+	}
+	if len(sc.Rows) == 0 || len(sc.Results) != len(sc.Cells)*len(sc.Rows) {
+		t.Fatalf("scorecard shape: %d rows, %d results, %d cells", len(sc.Rows), len(sc.Results), len(sc.Cells))
+	}
+	for i, r := range sc.Rows {
+		if r.Rank != i+1 {
+			t.Errorf("row %d has rank %d", i, r.Rank)
+		}
+	}
+	// Every result is classified, and ok results carry sane metrics.
+	for _, r := range sc.Results {
+		switch r.Status {
+		case "ok":
+			if r.Served < 0 || r.Served > 1+arenaTol {
+				t.Errorf("%s/%s: served fraction %v out of range", r.Cell, r.Strategy, r.Served)
+			}
+			if r.Served > 0 && r.Delay < 0 {
+				t.Errorf("%s/%s: served %v but delay undefined", r.Cell, r.Strategy, r.Served)
+			}
+		case "skipped", "failed":
+			if r.Err == "" {
+				t.Errorf("%s/%s: %s with no reason", r.Cell, r.Strategy, r.Status)
+			}
+		default:
+			t.Errorf("%s/%s: unknown status %q", r.Cell, r.Strategy, r.Status)
+		}
+	}
+	// The exact solver must be size-gated out of arena-scale cells, not
+	// failed.
+	if row, ok := sc.Row("exact"); !ok || row.Skipped != len(sc.Cells) {
+		t.Errorf("exact solver: want %d skipped cells, got %+v", len(sc.Cells), row)
+	}
+	// The headline claims the CLI and CI assert.
+	if err := sc.NeverDominatedOnServed("alternating"); err != nil {
+		t.Errorf("served-fraction dominance: %v", err)
+	}
+	if err := sc.DelayDominates("alternating", "iy-fixedpath"); err != nil {
+		t.Errorf("delay dominance over the fixed-path baseline: %v", err)
+	}
+	// Render/CSV/JSON agree on the roster.
+	text := sc.Render()
+	csv := sc.CSV()
+	js, err := sc.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	for _, r := range sc.Rows {
+		if !strings.Contains(text, r.Strategy) || !strings.Contains(csv, r.Strategy) || !bytes.Contains(js, []byte(r.Strategy)) {
+			t.Errorf("strategy %s missing from a rendering", r.Strategy)
+		}
+	}
+}
+
+// TestArenaDeterministic checks the bit-for-bit contract: with no
+// injected clock the scorecard is identical for any worker-pool width.
+func TestArenaDeterministic(t *testing.T) {
+	cfgSeq := tinyConfig()
+	cfgSeq.Workers = 1
+	cfgPar := tinyConfig()
+	cfgPar.Workers = 4
+	seq, err := Arena(context.Background(), cfgSeq, true)
+	if err != nil {
+		t.Fatalf("sequential arena: %v", err)
+	}
+	par, err := Arena(context.Background(), cfgPar, true)
+	if err != nil {
+		t.Fatalf("parallel arena: %v", err)
+	}
+	sj, err := seq.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := par.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sj, pj) {
+		t.Errorf("arena scorecard differs between 1 and 4 workers:\n--- seq ---\n%s\n--- par ---\n%s", sj, pj)
+	}
+}
+
+// TestArenaCanceled checks that a pre-canceled context aborts the sweep.
+func TestArenaCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Arena(ctx, tinyConfig(), true); err == nil {
+		t.Fatal("Arena ignored a canceled context")
+	}
+}
+
+// TestIDsSingleSource checks that the unknown-id error and IDs list the
+// same roster, including the arena (the drift this helper removes).
+func TestIDsSingleSource(t *testing.T) {
+	ids := IDs()
+	found := false
+	for _, id := range ids {
+		if id == "arena" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("IDs() = %v misses the arena", ids)
+	}
+	_, err := Lookup("nope")
+	if err == nil {
+		t.Fatal("Lookup accepted an unknown id")
+	}
+	for _, id := range ids {
+		if !strings.Contains(err.Error(), id) {
+			t.Errorf("unknown-id error %q misses %s", err, id)
+		}
+	}
+}
+
+// TestNeverDominatedIsPareto pins the dominance semantics on synthetic
+// rows: a rival that serves more only by conceding delay (or congestion)
+// made a trade and does not dominate; one that serves more while
+// matching both quality axes does.
+func TestNeverDominatedIsPareto(t *testing.T) {
+	sc := &Scorecard{Rows: []ScoreRow{
+		{Strategy: "ours", Served: 0.98, Delay: 12.0, Congestion: 0.9},
+		{Strategy: "trader", Served: 0.99, Delay: 38.0, Congestion: 3.0},
+	}}
+	if err := sc.NeverDominatedOnServed("ours"); err != nil {
+		t.Errorf("delay-trading rival reported as dominating: %v", err)
+	}
+	sc.Rows[1] = ScoreRow{Strategy: "winner", Served: 0.99, Delay: 12.0, Congestion: 0.9}
+	if err := sc.NeverDominatedOnServed("ours"); err == nil {
+		t.Error("rival better on served and equal elsewhere must dominate")
+	}
+	sc.Rows[1] = ScoreRow{Strategy: "equal", Served: 0.98, Delay: 5.0, Congestion: 0.5}
+	if err := sc.NeverDominatedOnServed("ours"); err != nil {
+		t.Errorf("rival serving the same mass cannot dominate on served: %v", err)
+	}
+	if err := sc.NeverDominatedOnServed("ghost"); err == nil {
+		t.Error("unknown strategy must error")
+	}
+}

@@ -257,8 +257,8 @@ func TestFig13SigmaZeroMatchesTruthDecision(t *testing.T) {
 
 func TestRegistryAndLookup(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 19 {
-		t.Errorf("registry has %d experiments, want 19", len(reg))
+	if len(reg) != 20 {
+		t.Errorf("registry has %d experiments, want 20", len(reg))
 	}
 	seen := map[string]bool{}
 	for _, e := range reg {

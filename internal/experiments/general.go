@@ -3,8 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	"jcr/internal/core"
 	"jcr/internal/placement"
+	"jcr/internal/strategy"
 )
 
 // generalResult is one method's outcome on a general-case run.
@@ -34,17 +34,18 @@ func runGeneralMethods(cfg *Config, run *Run) ([]generalResult, error) {
 	origin := run.Scenario.Net.Origin
 	out := make([]generalResult, 0, 4)
 
-	sol, err := core.Alternating(run.Decision, core.AlternatingOptions{Workers: cfg.Workers})
+	alt := strategy.MustNew("alternating", strategy.Options{Workers: cfg.Workers, NoSolverReuse: true})
+	plan, _, err := alt.Decide(nil, strategy.Instance{Spec: run.Decision, Dist: run.Dist})
 	if err != nil {
 		return nil, fmt.Errorf("alternating: %w", err)
 	}
-	cost, cong, err := EvaluateDecisionOnTruth(run, sol.Placement, sol.Routing.Paths)
+	cost, cong, err := EvaluateDecisionOnTruth(run, plan.Placement, plan.Paths)
 	if err != nil {
 		return nil, err
 	}
 	out = append(out, generalResult{
 		Name: generalMethodNames[0], Cost: cost, Congestion: cong,
-		Occupancy: run.Truth.MaxOccupancyRatio(sol.Placement),
+		Occupancy: run.Truth.MaxOccupancyRatio(plan.Placement),
 	})
 
 	// SP [38]: per-path placement on the origin's shortest paths, served

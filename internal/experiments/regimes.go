@@ -8,6 +8,7 @@ import (
 	"jcr/internal/exact"
 	"jcr/internal/graph"
 	"jcr/internal/placement"
+	"jcr/internal/strategy"
 )
 
 // Regimes quantifies the Section 2.4 trade-off between the three regimes
@@ -62,19 +63,22 @@ func Regimes(cfg *Config) (string, error) {
 	}
 	fmt.Fprintf(&b, "%-34s %14.6g\n", "IC-FR optimum (exact)", icfr.Cost)
 
-	icir, err := exact.SolveICIR(spec)
+	icir, _, err := strategy.MustNew("exact", strategy.Options{}).
+		Decide(nil, strategy.Instance{Spec: spec})
 	if err != nil {
 		return "", fmt.Errorf("regimes IC-IR: %w", err)
 	}
 	fmt.Fprintf(&b, "%-34s %14.6g\n", "IC-IR optimum (exact)", icir.Cost)
 
-	altFrac, err := core.Alternating(spec, core.AlternatingOptions{Fractional: true})
+	altFrac, _, err := strategy.MustNew("alternating", strategy.Options{Fractional: true, NoSolverReuse: true}).
+		Decide(nil, strategy.Instance{Spec: spec})
 	if err != nil {
 		return "", err
 	}
 	fmt.Fprintf(&b, "%-34s %14.6g\n", "alternating, IC-FR (Sec. 4.3)", altFrac.Cost)
 
-	altInt, err := core.Alternating(spec, core.AlternatingOptions{})
+	altInt, _, err := strategy.MustNew("alternating", strategy.Options{NoSolverReuse: true}).
+		Decide(nil, strategy.Instance{Spec: spec})
 	if err != nil {
 		return "", err
 	}

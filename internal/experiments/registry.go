@@ -18,6 +18,10 @@ type Experiment struct {
 	// rendering (text tables render figure data; table experiments
 	// produce prose and leave this nil). Used for CSV export.
 	Figures func(ctx context.Context, cfg *Config) ([]Figure, error)
+	// Score, when non-nil, runs the experiment as a ranked scorecard
+	// (the arena); quick selects the CI smoke grid. cmd/jcrsim archives
+	// scorecards as CSV and JSON and enforces their dominance claims.
+	Score func(ctx context.Context, cfg *Config, quick bool) (*Scorecard, error)
 }
 
 // Registry lists every reproduced table and figure by id.
@@ -66,7 +70,29 @@ func Registry() []Experiment {
 		{ID: "regimes", Description: "extension: FC-FR / IC-FR / IC-IR exact regime comparison", Run: text(Regimes)},
 		{ID: "zipf", Description: "extension: synthetic Zipf demand sweep (conference version)", Run: renderFigs(figs(ZipfSweep)), Figures: figs(ZipfSweep)},
 		{ID: "ablation", Description: "extension: ablations of implementation choices", Run: text(Ablation)},
+		{ID: "arena", Description: "extension: baseline arena — every registered strategy ranked over topology x catalog x skew x faults", Run: arenaRun, Score: Arena},
 	}
+}
+
+// arenaRun adapts the arena's scorecard to the plain Run signature (the
+// full grid; -quick is a cmd/jcrsim affordance on the Score path).
+func arenaRun(ctx context.Context, cfg *Config) (string, error) {
+	sc, err := Arena(ctx, cfg, false)
+	if err != nil {
+		return "", err
+	}
+	return sc.Render(), nil
+}
+
+// IDs returns every registered experiment id, sorted. It is the single
+// source behind -list, the unknown-id error, and the CLI usage text.
+func IDs() []string {
+	var ids []string
+	for _, e := range Registry() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
 }
 
 // Lookup finds an experiment by id.
@@ -76,10 +102,5 @@ func Lookup(id string) (Experiment, error) {
 			return e, nil
 		}
 	}
-	var ids []string
-	for _, e := range Registry() {
-		ids = append(ids, e.ID)
-	}
-	sort.Strings(ids)
-	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have: %s)", id, strings.Join(ids, ", "))
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have: %s)", id, strings.Join(IDs(), ", "))
 }

@@ -5,9 +5,9 @@ import (
 	"sort"
 	"strings"
 
-	"jcr/internal/core"
 	"jcr/internal/msufp"
 	"jcr/internal/placement"
+	"jcr/internal/strategy"
 )
 
 // Table2 reproduces the qualitative summary of the chunk-level IC-IR
@@ -65,7 +65,8 @@ func Table2(cfg *Config) (string, error) {
 	fmt.Fprintf(&b, "%-18s %-22s %14.4g %12s\n", "c_v = 0/|C|", "splittable flow (LB)", split.Cost, "-")
 
 	// Scenario 3: general case, with the IC-FR reference.
-	icfr, err := core.Alternating(run.Decision, core.AlternatingOptions{Fractional: true})
+	icfr, _, err := strategy.MustNew("alternating", strategy.Options{Fractional: true, NoSolverReuse: true}).
+		Decide(nil, strategy.Instance{Spec: run.Decision, Dist: run.Dist})
 	if err != nil {
 		return "", err
 	}
@@ -139,7 +140,8 @@ func ExecTimes(cfg *Config, fileLevel bool) (string, error) {
 			return err
 		}},
 		row{"general", "alternating (ours)", func() error {
-			_, err := core.Alternating(run.Decision, core.AlternatingOptions{})
+			_, _, err := strategy.MustNew("alternating", strategy.Options{NoSolverReuse: true}).
+				Decide(nil, strategy.Instance{Spec: run.Decision, Dist: run.Dist})
 			return err
 		}},
 		row{"general", "SP [38]", func() error {

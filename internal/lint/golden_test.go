@@ -32,6 +32,7 @@ func TestGolden(t *testing.T) {
 		{name: "gostmt", analyzer: "go-stmt"},
 		{name: "lpctor", analyzer: "lp-ctor"},
 		{name: "spengine", analyzer: "sp-engine"},
+		{name: "strategyctx", analyzer: "strategy-ctx"},
 		{name: "maporder", analyzer: "map-order"},
 		{name: "maporderxpkg", analyzer: "map-order",
 			patterns: []string{"./testdata/src/maporderdep", "./testdata/src/maporderuse"}},

@@ -139,6 +139,7 @@ func Registry() []*Analyzer {
 		GoStmtAnalyzer,
 		LPCtorAnalyzer,
 		SPEngineAnalyzer,
+		StrategyCtxAnalyzer,
 		MapOrderAnalyzer,
 		WallClockAnalyzer,
 		LockDisciplineAnalyzer,

@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// StrategyCtxAnalyzer keeps cancellation live inside the strategy layer:
+// a Strategy.Decide implementation receives the caller's ctx and must
+// thread it into the module's cancellable solver entry points. Two ways
+// to break the chain are flagged inside any method named Decide whose
+// first parameter is a context.Context:
+//
+//   - calling a module function that takes a leading ctx with nil (or a
+//     freshly minted root via context.Background/TODO) — the solver runs
+//     uncancellable even though Decide holds a live ctx;
+//   - calling the ctx-less variant of a module function when a
+//     "<Name>Context" sibling exists in the same package (Route vs
+//     RouteContext, Alternating vs AlternatingContext, SolveICIR vs
+//     SolveICIRContext) — same leak, hidden by the convenience wrapper.
+//
+// Callers outside Decide may pass nil (the repo's "no cancellation"
+// convention); this analyzer is only about implementations that were
+// handed a ctx and dropped it.
+var StrategyCtxAnalyzer = &Analyzer{
+	Name: "strategy-ctx",
+	Doc:  "Strategy.Decide implementations must thread their ctx into ctx-capable module calls",
+	Run:  runStrategyCtx,
+}
+
+func runStrategyCtx(p *Pass) {
+	pkg := p.Pkg
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != "Decide" || fd.Body == nil {
+				continue
+			}
+			if !decideTakesCtx(pkg, fd) {
+				continue
+			}
+			checkDecideBody(p, fd)
+		}
+	}
+}
+
+// decideTakesCtx reports whether the method's first parameter is a
+// context.Context.
+func decideTakesCtx(pkg *Package, fd *ast.FuncDecl) bool {
+	params := fd.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return false
+	}
+	tv, ok := pkg.Info.Types[params.List[0].Type]
+	if !ok {
+		return false
+	}
+	return isContextType(tv.Type)
+}
+
+// isContextType recognizes the context.Context interface.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkDecideBody walks one Decide implementation and flags module calls
+// that drop the ctx.
+func checkDecideBody(p *Pass, fd *ast.FuncDecl) {
+	pkg := p.Pkg
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pkg, call)
+		if fn == nil || fn.Pkg() == nil || !strings.HasPrefix(fn.Pkg().Path()+"/", moduleForPath(pkg.Path)) {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return true
+		}
+		params := sig.Params()
+		if params.Len() > 0 && isContextType(params.At(0).Type()) {
+			if len(call.Args) == 0 {
+				return true
+			}
+			switch arg := ast.Unparen(call.Args[0]).(type) {
+			case *ast.Ident:
+				if arg.Name == "nil" && pkg.Info.Types[arg].IsNil() {
+					p.Reportf(call.Pos(), "Decide passes a nil context to %s; thread the Decide ctx so the solver stays cancellable", callName(call))
+				}
+			case *ast.CallExpr:
+				if sel, ok := arg.Fun.(*ast.SelectorExpr); ok && selectorPackage(pkg, sel) == "context" &&
+					(sel.Sel.Name == "Background" || sel.Sel.Name == "TODO") {
+					p.Reportf(call.Pos(), "Decide mints a root context for %s; thread the Decide ctx so the solver stays cancellable", callName(call))
+				}
+			}
+			return true
+		}
+		// No leading ctx: flag when the same package exports a
+		// "<Name>Context" sibling that takes one.
+		if sig.Recv() != nil {
+			return true
+		}
+		sibling, ok := fn.Pkg().Scope().Lookup(fn.Name() + "Context").(*types.Func)
+		if !ok {
+			return true
+		}
+		ssig, ok := sibling.Type().(*types.Signature)
+		if !ok || ssig.Params().Len() == 0 || !isContextType(ssig.Params().At(0).Type()) {
+			return true
+		}
+		p.Reportf(call.Pos(), "Decide calls %s, dropping its ctx; call %s.%s with the Decide ctx instead", callName(call), fn.Pkg().Name(), sibling.Name())
+		return true
+	})
+}
+
+// moduleForPath returns the module prefix ("jcr/") that marks a package
+// as this repository's own code; the analyzer only polices module calls —
+// the standard library and hypothetical third parties are out of scope.
+func moduleForPath(pkgPath string) string {
+	if i := strings.Index(pkgPath, "/"); i >= 0 {
+		return pkgPath[:i+1]
+	}
+	return pkgPath + "/"
+}

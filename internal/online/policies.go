@@ -3,12 +3,10 @@ package online
 import (
 	"context"
 	"fmt"
-	"math"
 	"math/rand"
-	"sort"
 
-	"jcr/internal/core"
 	"jcr/internal/placement"
+	"jcr/internal/strategy"
 )
 
 // AlternatingPolicy re-runs the Section 4.3.3 alternating optimizer each
@@ -38,8 +36,7 @@ type AlternatingPolicy struct {
 	// with DecideTimeout and the degradation ladder.
 	NoSolverReuse bool
 
-	prev  *placement.Placement
-	state *core.SolveState
+	inner *strategy.Alternating
 }
 
 // Name implements Policy.
@@ -56,202 +53,50 @@ func (p *AlternatingPolicy) Name() string {
 
 // Decide implements Policy.
 func (p *AlternatingPolicy) Decide(ctx context.Context, spec *placement.Spec, dist [][]float64) (*Decision, error) {
-	opts := core.AlternatingOptions{Fractional: p.Fractional, Rng: p.Rng}
-	opts.Routing.BestEffort = p.BestEffort
-	if !p.NoSolverReuse {
-		if p.state == nil {
-			p.state = core.NewSolveState()
+	if p.inner == nil {
+		p.inner = &strategy.Alternating{
+			Fractional:    p.Fractional,
+			WarmStart:     p.WarmStart,
+			BestEffort:    p.BestEffort,
+			Rng:           p.Rng,
+			NoSolverReuse: p.NoSolverReuse,
 		}
-		opts.State = p.state
 	}
-	if p.WarmStart && p.prev != nil {
-		init := p.prev
-		if spec.CheckFeasible(init) != nil {
-			// Caches shrank or failed since last hour: the lost
-			// content cannot seed this hour's optimization.
-			init = init.Clone()
-			spec.EvictToFit(init)
-		}
-		opts.Initial = init
-	}
-	sol, err := core.AlternatingContext(ctx, spec, opts)
+	plan, _, err := p.inner.Decide(ctx, strategy.Instance{Spec: spec, Dist: dist})
 	if err != nil {
 		return nil, err
 	}
-	pths, uns := sol.Routing.Paths, sol.Routing.Unserved
-	if p.BestEffort && len(uns) > 0 {
-		pths = repairStranded(spec, sol.Placement, pths, uns, dist)
-	}
-	p.prev = sol.Placement
-	return &Decision{Placement: sol.Placement, Paths: pths, Unserved: uns}, nil
+	return &Decision{Placement: plan.Placement, Paths: plan.Paths, Unserved: plan.Unserved}, nil
 }
 
-// repairStranded is the degradation-aware post-pass of the best-effort
-// alternating controller. The optimizer has no objective term for demand it
-// declared unserved (no path reaches a replica), so on a partitioned
-// network it leaves cut-off components without the content their caches
-// could hold. For each stranded request, largest demand first, this stores
-// the item at the nearest cache its requester can still reach, evicting the
-// slots whose loss is cheapest -- where an eviction's loss counts only
-// demand that becomes truly stranded (a dropped request with another
-// reachable replica is re-served via nearest-replica fallback) -- and
-// accepts a swap only when it strands strictly less demand than it
-// recovers. Paths served from an evicted replica are dropped and their
-// demand declared unserved; the repaired request's own Unserved entry
-// stays, and the evaluator re-checks reachability and serves it from the
-// new replica. Returns the surviving paths.
-func repairStranded(spec *placement.Spec, pl *placement.Placement, paths []placement.ServingPath, unserved map[placement.Request]float64, dist [][]float64) []placement.ServingPath {
-	// Paths indexed by their replica: the response originates at the
-	// path's source (at the requester itself for a local hit), so
-	// evicting that copy drops these paths.
-	bySource := map[placement.Request][]int{}
-	for k := range paths {
-		src := paths[k].Req.Node
-		if len(paths[k].Path.Arcs) > 0 {
-			src = paths[k].Path.Source(spec.G)
-		}
-		key := placement.Request{Item: paths[k].Req.Item, Node: src}
-		bySource[key] = append(bySource[key], k)
-	}
-	dropped := make([]bool, len(paths))
-	// reachOther reports a live replica of item j reaching node s other
-	// than the one at skip (pass skip < 0 for "any replica").
-	reachOther := func(j, s, skip int) bool {
-		for u := range pl.Stores {
-			if u != skip && pl.Stores[u][j] && !math.IsInf(dist[u][s], 1) {
-				return true
-			}
-		}
-		return false
-	}
-	// lossOf is the demand truly stranded by evicting item j from v: the
-	// requests served from that replica with no other reachable copy.
-	// (Declared-unserved requests reach no replica at all, so they never
-	// add to the loss.)
-	lossOf := func(v, j int) float64 {
-		var loss float64
-		counted := map[int]bool{}
-		for _, k := range bySource[placement.Request{Item: j, Node: v}] {
-			if dropped[k] {
-				continue
-			}
-			s := paths[k].Req.Node
-			if counted[s] || reachOther(j, s, v) {
-				continue
-			}
-			counted[s] = true
-			loss += spec.Rates[j][s]
-		}
-		return loss
-	}
-	evictReplica := func(v, j int) {
-		for _, k := range bySource[placement.Request{Item: j, Node: v}] {
-			if dropped[k] {
-				continue
-			}
-			dropped[k] = true
-			unserved[paths[k].Req] += paths[k].Rate
-		}
-		pl.Stores[v][j] = false
-	}
-	reqs := make([]placement.Request, 0, len(unserved))
-	for rq := range unserved {
-		reqs = append(reqs, rq)
-	}
-	sort.Slice(reqs, func(a, b int) bool {
-		//jcrlint:allow float-eq: deterministic sort tie-break, not a tolerance check
-		if la, lb := unserved[reqs[a]], unserved[reqs[b]]; la != lb {
-			return la > lb
-		}
-		if reqs[a].Item != reqs[b].Item {
-			return reqs[a].Item < reqs[b].Item
-		}
-		return reqs[a].Node < reqs[b].Node
-	})
-	for _, rq := range reqs {
-		lam := unserved[rq]
-		if lam <= 0 || reachOther(rq.Item, rq.Node, -1) {
-			continue // already repaired by an earlier request's replica
-		}
-		type cand struct {
-			v int
-			d float64
-		}
-		var cands []cand
-		for v := range pl.Stores {
-			if spec.IsPinned(v) || spec.CacheCap[v] <= 0 {
-				continue
-			}
-			if d := dist[v][rq.Node]; !math.IsInf(d, 1) {
-				cands = append(cands, cand{v, d})
-			}
-		}
-		sort.Slice(cands, func(a, b int) bool {
-			//jcrlint:allow float-eq: deterministic sort tie-break, not a tolerance check
-			if cands[a].d != cands[b].d {
-				return cands[a].d < cands[b].d
-			}
-			return cands[a].v < cands[b].v
-		})
-		for _, c := range cands {
-			if repairStoreAt(spec, pl, lossOf, evictReplica, c.v, rq, lam) {
-				break
-			}
-		}
-	}
-	var out []placement.ServingPath
-	for k := range paths {
-		if !dropped[k] {
-			out = append(out, paths[k])
-		}
-	}
-	return out
+// StrategyPolicy adapts any registered strategy (internal/strategy) to the
+// online controller's Policy interface, so online.Run and the serving
+// control plane can drive the paper's algorithms and the related-work
+// baselines interchangeably. The adapter is stateful exactly when the
+// strategy is (a Warm strategy keeps its carried solver state across
+// hours).
+type StrategyPolicy struct {
+	Strategy strategy.Strategy
+	// Label overrides the reported policy name; empty uses the
+	// strategy's registry name.
+	Label string
 }
 
-// repairStoreAt tries to store rq's item at cache v, freeing space by
-// evicting the cheapest-loss slots first. It refuses a swap that does not
-// strictly pay for itself in stranded demand.
-func repairStoreAt(spec *placement.Spec, pl *placement.Placement, lossOf func(v, j int) float64, evictReplica func(v, j int), v int, rq placement.Request, lam float64) bool {
-	need := spec.Occupancy(pl, v) + spec.Size(rq.Item) - spec.CacheCap[v]
-	if need <= 0 {
-		pl.Stores[v][rq.Item] = true
-		return true
+// Name implements Policy.
+func (p *StrategyPolicy) Name() string {
+	if p.Label != "" {
+		return p.Label
 	}
-	type slot struct {
-		j    int
-		loss float64
+	return p.Strategy.Name()
+}
+
+// Decide implements Policy.
+func (p *StrategyPolicy) Decide(ctx context.Context, spec *placement.Spec, dist [][]float64) (*Decision, error) {
+	plan, _, err := p.Strategy.Decide(ctx, strategy.Instance{Spec: spec, Dist: dist})
+	if err != nil {
+		return nil, err
 	}
-	var slots []slot
-	for j := 0; j < spec.NumItems; j++ {
-		if pl.Stores[v][j] && j != rq.Item {
-			slots = append(slots, slot{j, lossOf(v, j)})
-		}
-	}
-	sort.Slice(slots, func(a, b int) bool {
-		//jcrlint:allow float-eq: deterministic sort tie-break, not a tolerance check
-		if slots[a].loss != slots[b].loss {
-			return slots[a].loss < slots[b].loss
-		}
-		return slots[a].j < slots[b].j
-	})
-	var freed, loss float64
-	var evict []int
-	for _, sl := range slots {
-		if freed >= need {
-			break
-		}
-		evict = append(evict, sl.j)
-		freed += spec.Size(sl.j)
-		loss += sl.loss
-	}
-	if freed < need || loss >= lam {
-		return false
-	}
-	for _, j := range evict {
-		evictReplica(v, j)
-	}
-	pl.Stores[v][rq.Item] = true
-	return true
+	return &Decision{Placement: plan.Placement, Paths: plan.Paths, Unserved: plan.Unserved}, nil
 }
 
 // SPPolicy is the [38] baseline: per-path placement on the origin's

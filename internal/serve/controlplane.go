@@ -10,6 +10,7 @@ import (
 	"jcr/internal/faults"
 	"jcr/internal/online"
 	"jcr/internal/placement"
+	"jcr/internal/strategy"
 )
 
 // PlanInput is one control-plane cycle's worth of input: the demand spec to
@@ -127,6 +128,16 @@ func NewControlPlane(policy online.Policy, dp *DataPlane, opts ControlPlaneOptio
 		return nil, fmt.Errorf("serve: negative control-plane options: %+v", opts)
 	}
 	return &ControlPlane{policy: policy, dp: dp, opts: opts, epoch: dp.Epoch()}, nil
+}
+
+// NewControlPlaneForStrategy wires any joint caching-and-routing strategy
+// (internal/strategy — the paper's algorithms or a related-work baseline)
+// to the data plane, via the online.StrategyPolicy adapter.
+func NewControlPlaneForStrategy(st strategy.Strategy, dp *DataPlane, opts ControlPlaneOptions) (*ControlPlane, error) {
+	if st == nil {
+		return nil, errors.New("serve: control plane needs a strategy")
+	}
+	return NewControlPlane(&online.StrategyPolicy{Strategy: st}, dp, opts)
 }
 
 // Step runs one recompute-and-push cycle for the given input. It never

@@ -1,0 +1,53 @@
+package strategy
+
+import (
+	"math"
+
+	"jcr/internal/graph"
+	"jcr/internal/placement"
+)
+
+// rnrServe builds route-to-nearest-replica serving paths with best-effort
+// semantics: each positive-rate request is served over the least-cost path
+// from its nearest replica (ties toward the smaller node id, matching
+// Spec.RNRSources), and requests with no reachable replica land in the
+// unserved map instead of failing the solve. dist must be the all-pairs
+// matrix of s.G.
+func rnrServe(s *placement.Spec, pl *placement.Placement, dist [][]float64) ([]placement.ServingPath, map[placement.Request]float64) {
+	trees := map[graph.NodeID]graph.ShortestTree{}
+	var paths []placement.ServingPath
+	var unserved map[placement.Request]float64
+	for _, rq := range s.Requests() {
+		lam := s.Rates[rq.Item][rq.Node]
+		best := -1
+		bestD := math.Inf(1)
+		for v := range pl.Stores {
+			if !pl.Stores[v][rq.Item] {
+				continue
+			}
+			if d := dist[v][rq.Node]; d < bestD {
+				bestD = d
+				best = v
+			}
+		}
+		if best < 0 {
+			if unserved == nil {
+				unserved = map[placement.Request]float64{}
+			}
+			unserved[rq] += lam
+			continue
+		}
+		if best == rq.Node {
+			paths = append(paths, placement.ServingPath{Req: rq, Rate: lam}) // local hit
+			continue
+		}
+		tree, ok := trees[best]
+		if !ok {
+			tree = graph.TreeOf(s.G, best)
+			trees[best] = tree
+		}
+		p, _ := tree.PathTo(s.G, rq.Node) // reachable: dist[best][rq.Node] is finite
+		paths = append(paths, placement.ServingPath{Req: rq, Path: p, Rate: lam})
+	}
+	return paths, unserved
+}

@@ -19,7 +19,7 @@ vet:
 # library panics, dropped errors, magic tolerances, map-iteration-order
 # leaks, wall-clock reachability, lock discipline, hot-path allocations);
 # see README "Static analysis & invariants". `go vet` runs first, then
-# the thirteen jcrlint analyzers. CI also emits `-sarif` for inline
+# the fifteen jcrlint analyzers. CI also emits `-sarif` for inline
 # annotations.
 lint: vet
 	$(GO) run ./cmd/jcrlint ./...
@@ -35,7 +35,7 @@ bench:
 # lookup/swap, experiment-harness times) for tracking the perf trajectory
 # across PRs.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_pr8.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr9.json
 
 # Perf gate: fail if the current tree regressed the LP or shortest-path
 # micro-benchmarks by more than 15% against the committed previous-PR
@@ -44,7 +44,7 @@ bench-compare:
 	$(GO) run ./cmd/benchjson -only lp_sparse_solve,dijkstra_tree,yen_k25,online_fault_reroute,serve_lookup,plan_swap,decide_alg1,decide_mindelay -repeat 3 -out /tmp/bench_head.json
 	$(GO) run ./cmd/benchjson -compare \
 		-names lp_sparse_solve_placement,lp_sparse_solve_mmsfp_sized,dijkstra_tree,yen_k25,online_fault_reroute,serve_lookup,plan_swap,decide_alg1,decide_mindelay \
-		BENCH_pr8.json /tmp/bench_head.json
+		BENCH_pr9.json /tmp/bench_head.json
 
 # Full suite under the race detector (also a CI job).
 race:

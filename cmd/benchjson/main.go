@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	benchjson [-out BENCH_pr8.json] [-mc 1] [-only lp_solver,alternating]
+//	benchjson [-out BENCH_pr9.json] [-mc 1] [-only lp_solver,alternating]
 //	benchjson -compare [-names lp_sparse_solve_placement,...] old.json new.json
 //
 // Compare mode reads two reports and exits non-zero when any compared
@@ -65,7 +65,7 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr8.json", "output file ('-' = stdout)")
+	out := flag.String("out", "BENCH_pr9.json", "output file ('-' = stdout)")
 	mc := flag.Int("mc", 1, "Monte-Carlo runs for the experiment-harness timings")
 	repeat := flag.Int("repeat", 1, "repetitions per micro-benchmark; the minimum ns/op is reported (damps machine noise for compare mode)")
 	compare := flag.Bool("compare", false, "compare two report files (old new) and exit non-zero on regression")
@@ -369,6 +369,42 @@ func main() {
 			}
 		})
 		rep.Benchmarks = append(rep.Benchmarks, toResult(bname, res))
+	}
+
+	// Partition-pipeline scaling cells (PR-9): one timed decomposed solve
+	// per representative composite cell — K cost-assigned Abovenet blocks
+	// stitched through gateways, the scaling experiment's construction.
+	// Single passes, like the harness timings: the big cells take seconds
+	// and the curve, not the variance, is what the trajectory tracks.
+	for _, b := range []struct {
+		blocks, catalog int
+	}{
+		{4, 16},
+		{16, 16},
+		{16, 48},
+	} {
+		name := fmt.Sprintf("scaling_cells_x%d_c%d", b.blocks, b.catalog)
+		if !want(name) {
+			continue
+		}
+		spec, err := experiments.ScalingSpec(cfg, b.blocks, b.catalog)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		st := &strategy.Decomposed{
+			Alternating: strategy.Alternating{Seed: 1, MaxIters: 4, BestEffort: true},
+			MinVars:     1,
+		}
+		inst := strategy.Instance{Spec: spec, Dist: graph.AllPairs(spec.G)}
+		start := time.Now()
+		if _, _, err := st.Decide(context.Background(), inst); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		rep.Benchmarks = append(rep.Benchmarks, Result{
+			Name:       name,
+			Iterations: 1,
+			NsPerOp:    float64(time.Since(start).Nanoseconds()),
+		})
 	}
 
 	// Arena smoke wall time: one timed pass of the CI quick grid (every

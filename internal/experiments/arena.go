@@ -97,7 +97,11 @@ type ArenaResult struct {
 	Congestion float64 `json:"congestion"`
 	Iterations int     `json:"iterations"`
 	WallMS     float64 `json:"wall_ms"`
-	Err        string  `json:"error,omitempty"`
+	// Method labels the dominant subroutine of the winning solve (the
+	// routing method, e.g. "lp" or "decomposed"); JSON-only — the CSV
+	// column set is pinned.
+	Method string `json:"method,omitempty"`
+	Err    string `json:"error,omitempty"`
 }
 
 // ScoreRow is one strategy's aggregate line, ranked. Served and Congestion
@@ -119,6 +123,8 @@ type ScoreRow struct {
 // Scorecard is the arena's ranked outcome: one row per registered
 // strategy plus the per-cell detail behind it.
 type Scorecard struct {
+	// Title names the sweep in rendered output; empty means the arena's.
+	Title   string        `json:"title,omitempty"`
 	Quick   bool          `json:"quick"`
 	Seed    int64         `json:"seed"`
 	Cells   []string      `json:"cells"`
@@ -252,6 +258,7 @@ func runArenaBout(ctx context.Context, cfg *Config, cell ArenaCell, spec *placem
 	plan, stats, err := st.Decide(ctx, inst)
 	res.WallMS = lap().Seconds() * 1000
 	res.Iterations = stats.Iterations
+	res.Method = stats.Method
 	if err != nil {
 		res.Status = "failed"
 		res.Err = err.Error()
@@ -407,7 +414,11 @@ func (sc *Scorecard) Render() string {
 	if sc.Quick {
 		mode = "quick"
 	}
-	fmt.Fprintf(&b, "== baseline arena (%s grid, %d cells, seed %d) ==\n", mode, len(sc.Cells), sc.Seed)
+	title := sc.Title
+	if title == "" {
+		title = "baseline arena"
+	}
+	fmt.Fprintf(&b, "== %s (%s grid, %d cells, seed %d) ==\n", title, mode, len(sc.Cells), sc.Seed)
 	fmt.Fprintf(&b, "%-4s %-16s %5s %5s %5s %9s %10s %7s %9s\n",
 		"rank", "strategy", "ok", "skip", "fail", "served", "delay", "cong", "wall-ms")
 	for _, r := range sc.Rows {

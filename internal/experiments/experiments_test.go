@@ -257,8 +257,8 @@ func TestFig13SigmaZeroMatchesTruthDecision(t *testing.T) {
 
 func TestRegistryAndLookup(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 20 {
-		t.Errorf("registry has %d experiments, want 20", len(reg))
+	if len(reg) != 21 {
+		t.Errorf("registry has %d experiments, want 21", len(reg))
 	}
 	seen := map[string]bool{}
 	for _, e := range reg {

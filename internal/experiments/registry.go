@@ -19,9 +19,13 @@ type Experiment struct {
 	// produce prose and leave this nil). Used for CSV export.
 	Figures func(ctx context.Context, cfg *Config) ([]Figure, error)
 	// Score, when non-nil, runs the experiment as a ranked scorecard
-	// (the arena); quick selects the CI smoke grid. cmd/jcrsim archives
-	// scorecards as CSV and JSON and enforces their dominance claims.
+	// (the arena, the scaling sweep); quick selects the CI smoke grid.
+	// cmd/jcrsim archives scorecards as CSV and JSON.
 	Score func(ctx context.Context, cfg *Config, quick bool) (*Scorecard, error)
+	// Check, when non-nil, enforces the scorecard's headline claims (the
+	// ones EXPERIMENTS.md states for the experiment); cmd/jcrsim fails the
+	// run on a violated claim.
+	Check func(sc *Scorecard) error
 }
 
 // Registry lists every reproduced table and figure by id.
@@ -70,8 +74,19 @@ func Registry() []Experiment {
 		{ID: "regimes", Description: "extension: FC-FR / IC-FR / IC-IR exact regime comparison", Run: text(Regimes)},
 		{ID: "zipf", Description: "extension: synthetic Zipf demand sweep (conference version)", Run: renderFigs(figs(ZipfSweep)), Figures: figs(ZipfSweep)},
 		{ID: "ablation", Description: "extension: ablations of implementation choices", Run: text(Ablation)},
-		{ID: "arena", Description: "extension: baseline arena — every registered strategy ranked over topology x catalog x skew x faults", Run: arenaRun, Score: Arena},
+		{ID: "arena", Description: "extension: baseline arena — every registered strategy ranked over topology x catalog x skew x faults", Run: arenaRun, Score: Arena, Check: arenaCheck},
+		{ID: "scaling", Description: "extension: partition-aware scaling curve — decomposed vs monolithic over stitched composite topologies", Run: scalingRun, Score: Scaling, Check: scalingCheck},
 	}
+}
+
+// arenaCheck enforces the arena's dominance claims: the alternating
+// optimizer is never strictly dominated on served fraction, and it beats
+// the fixed-path Ioannidis-Yeh baseline on expected delay.
+func arenaCheck(sc *Scorecard) error {
+	if err := sc.NeverDominatedOnServed("alternating"); err != nil {
+		return err
+	}
+	return sc.DelayDominates("alternating", "iy-fixedpath")
 }
 
 // arenaRun adapts the arena's scorecard to the plain Run signature (the

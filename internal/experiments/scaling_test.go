@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestScalingQuick runs the CI smoke grid end-to-end: both strategies
+// complete every quick cell, the decomposed column actually took the
+// partition path, and the scorecard passes its registered check.
+func TestScalingQuick(t *testing.T) {
+	sc, err := Scaling(context.Background(), tinyConfig(), true)
+	if err != nil {
+		t.Fatalf("Scaling: %v", err)
+	}
+	if len(sc.Cells) != 2 {
+		t.Fatalf("quick grid has %d cells, want 2", len(sc.Cells))
+	}
+	if err := scalingCheck(sc); err != nil {
+		t.Errorf("scalingCheck: %v", err)
+	}
+	decomposedRouted := false
+	for _, r := range sc.Results {
+		if r.Status != "ok" {
+			t.Errorf("%s/%s: status %s (%s)", r.Cell, r.Strategy, r.Status, r.Err)
+		}
+		if r.Strategy == "decomposed" && r.Method == "decomposed" {
+			decomposedRouted = true
+		}
+	}
+	if !decomposedRouted {
+		t.Errorf("no quick cell used the decomposed routing path; results: %+v", sc.Results)
+	}
+	// The curve's reference column exists: alternating attempted the
+	// overlap and its objective stayed comparable (the decomposition's
+	// duality-gap tolerance bounds the spread).
+	alt, _ := sc.Row("alternating")
+	if alt.CellsOK != len(sc.Cells) {
+		t.Errorf("alternating completed %d of %d quick cells", alt.CellsOK, len(sc.Cells))
+	}
+}
+
+// TestScalingWorkersIdentical is the scorecard determinism claim behind
+// `jcrsim -exp scaling -workers N`: the workers knob parallelizes inside
+// each bout only, so with no injected clock the archived scorecard is
+// byte-for-byte identical for 1 and 4 workers — CSV and JSON both.
+func TestScalingWorkersIdentical(t *testing.T) {
+	cfgSeq := tinyConfig()
+	cfgSeq.Workers = 1
+	cfgPar := tinyConfig()
+	cfgPar.Workers = 4
+	seq, err := Scaling(context.Background(), cfgSeq, true)
+	if err != nil {
+		t.Fatalf("sequential scaling: %v", err)
+	}
+	par, err := Scaling(context.Background(), cfgPar, true)
+	if err != nil {
+		t.Fatalf("parallel scaling: %v", err)
+	}
+	if sc, pc := seq.CSV(), par.CSV(); sc != pc {
+		t.Errorf("scaling CSV differs between 1 and 4 workers:\n--- seq ---\n%s\n--- par ---\n%s", sc, pc)
+	}
+	sj, err := seq.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := par.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sj, pj) {
+		t.Errorf("scaling scorecard differs between 1 and 4 workers:\n--- seq ---\n%s\n--- par ---\n%s", sj, pj)
+	}
+}
+
+// TestScalingSkipsMonolithic pins the full grid's shape without running
+// it: above scalingMonoMaxBlocks the monolithic baseline is recorded as
+// skipped, not attempted.
+func TestScalingSkipsMonolithic(t *testing.T) {
+	cells := scalingCells(false)
+	if len(cells) != 8 {
+		t.Fatalf("full grid has %d cells, want 8", len(cells))
+	}
+	cfg := tinyConfig()
+	big := ScalingCell{Blocks: scalingMonoMaxBlocks + 4, Catalog: 8}
+	res := runScalingBout(context.Background(), cfg, big, nil, nil, "alternating")
+	if res.Status != "skipped" || !strings.Contains(res.Err, "not attempted") {
+		t.Errorf("monolithic bout on %d blocks = %+v, want skipped", big.Blocks, res)
+	}
+}
+
+// TestScalingCheckRejects exercises the check's failure arms.
+func TestScalingCheckRejects(t *testing.T) {
+	sc := &Scorecard{
+		Cells: []string{"a", "b"},
+		Rows: []ScoreRow{
+			{Strategy: "decomposed", CellsOK: 1, Failed: 1, Served: 0.5},
+			{Strategy: "alternating", CellsOK: 1, Served: 1},
+		},
+	}
+	if err := scalingCheck(sc); err == nil {
+		t.Error("scalingCheck accepted an incomplete decomposed row")
+	}
+	sc.Rows[0] = ScoreRow{Strategy: "decomposed", CellsOK: 2, Served: 1}
+	sc.Rows[1] = ScoreRow{Strategy: "alternating"}
+	if err := scalingCheck(sc); err == nil {
+		t.Error("scalingCheck accepted a baseline with no completed cells")
+	}
+	sc.Rows[1] = ScoreRow{Strategy: "alternating", CellsOK: 1, Served: 1}
+	if err := scalingCheck(sc); err != nil {
+		t.Errorf("scalingCheck rejected a healthy scorecard: %v", err)
+	}
+}

@@ -1,0 +1,179 @@
+package graph
+
+import (
+	"testing"
+)
+
+// cellsFixture: a 6-node two-triangle graph joined by one undirected
+// bridge. Assignment {0,1,2}->0, {3,4,5}->1 makes the bridge the only
+// gateway.
+func cellsFixture() (*Graph, []int) {
+	g := New(6)
+	g.AddEdge(0, 1, 1, 10)
+	g.AddEdge(1, 2, 1, 10)
+	g.AddEdge(2, 0, 1, 10)
+	g.AddEdge(3, 4, 1, 10)
+	g.AddEdge(4, 5, 1, 10)
+	g.AddEdge(5, 3, 1, 10)
+	g.AddEdge(2, 3, 2, 5) // the bridge
+	return g, []int{0, 0, 0, 1, 1, 1}
+}
+
+func TestCellSetStructure(t *testing.T) {
+	g, assign := cellsFixture()
+	cs, err := NewCellSet(g, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.K() != 2 {
+		t.Fatalf("K = %d, want 2", cs.K())
+	}
+	if !cs.Fresh(g) {
+		t.Fatal("fresh snapshot reported stale")
+	}
+	if got := len(cs.GatewayArcs()); got != 2 {
+		t.Fatalf("%d gateway arcs, want 2 (the bridge, both directions)", got)
+	}
+	for gi, id := range cs.GatewayArcs() {
+		if cs.GatewayIndex(id) != gi {
+			t.Errorf("GatewayIndex(%d) = %d, want %d", id, cs.GatewayIndex(id), gi)
+		}
+	}
+	c0, c1 := cs.Cell(0), cs.Cell(1)
+	if c0.NumNodes() != 3 || c1.NumNodes() != 3 {
+		t.Fatalf("cell sizes %d/%d, want 3/3", c0.NumNodes(), c1.NumNodes())
+	}
+	if len(c0.InternalArcs()) != 6 || len(c1.InternalArcs()) != 6 {
+		t.Fatalf("internal arcs %d/%d, want 6/6", len(c0.InternalArcs()), len(c1.InternalArcs()))
+	}
+	// The bridge 2->3 exports from cell 0 and imports into cell 1; 3->2
+	// the other way around.
+	if len(c0.ExportArcs()) != 1 || len(c0.ImportArcs()) != 1 {
+		t.Fatalf("cell 0 exports/imports %d/%d, want 1/1", len(c0.ExportArcs()), len(c0.ImportArcs()))
+	}
+	if e := c0.ExportArcs()[0]; g.Arc(e).From != 2 || g.Arc(e).To != 3 {
+		t.Errorf("cell 0 export arc %d is %v", c0.ExportArcs()[0], g.Arc(c0.ExportArcs()[0]))
+	}
+	if got := c0.BoundaryNodes(); len(got) != 1 || got[0] != 2 {
+		t.Errorf("cell 0 boundary %v, want [2]", got)
+	}
+	if got := c1.BoundaryNodes(); len(got) != 1 || got[0] != 3 {
+		t.Errorf("cell 1 boundary %v, want [3]", got)
+	}
+}
+
+func TestCellViewTranslation(t *testing.T) {
+	g, assign := cellsFixture()
+	cs, err := NewCellSet(g, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := cs.Cell(1)
+	for local, global := range cv.Nodes() {
+		got, ok := cv.LocalNode(global)
+		if !ok || got != local {
+			t.Errorf("LocalNode(%d) = %d,%v, want %d,true", global, got, ok, local)
+		}
+		if cv.GlobalNode(local) != global {
+			t.Errorf("GlobalNode(%d) = %d, want %d", local, cv.GlobalNode(local), global)
+		}
+	}
+	if _, ok := cv.LocalNode(0); ok {
+		t.Error("cell 1 claims node 0")
+	}
+	if _, ok := cv.LocalNode(-1); ok {
+		t.Error("LocalNode accepted a negative ID")
+	}
+	sub, arcs := cv.Subgraph(g)
+	if sub.NumNodes() != 3 || sub.NumArcs() != 6 {
+		t.Fatalf("subgraph %d nodes %d arcs, want 3 and 6", sub.NumNodes(), sub.NumArcs())
+	}
+	for i, id := range arcs {
+		want := g.Arc(id)
+		got := sub.Arc(i)
+		if cv.GlobalNode(got.From) != want.From || cv.GlobalNode(got.To) != want.To || got.Cost != want.Cost || got.Cap != want.Cap {
+			t.Errorf("subgraph arc %d = %+v, want local image of %+v", i, got, want)
+		}
+	}
+	// Cached on the view.
+	if sub2, _ := cv.Subgraph(g); sub2 != sub {
+		t.Error("Subgraph rebuilt instead of reusing the snapshot")
+	}
+}
+
+func TestCellSetGenInvalidation(t *testing.T) {
+	g, assign := cellsFixture()
+	cs, err := NewCellSet(g, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SetArcCap(0, 99)
+	if cs.Fresh(g) {
+		t.Fatal("snapshot fresh after a capacity mutation")
+	}
+	other := New(6)
+	if cs.Fresh(other) {
+		t.Fatal("snapshot fresh for a different graph")
+	}
+}
+
+func TestCellSetErrors(t *testing.T) {
+	g, _ := cellsFixture()
+	if _, err := NewCellSet(g, []int{0, 0, 0}); err == nil {
+		t.Error("accepted a short assignment")
+	}
+	if _, err := NewCellSet(g, []int{0, 0, 0, 1, 1, -1}); err == nil {
+		t.Error("accepted a negative cell index")
+	}
+	if _, err := NewCellSet(g, []int{0, 0, 0, 2, 2, 2}); err == nil {
+		t.Error("accepted sparse cell indices (cell 1 empty)")
+	}
+	if _, err := NewCellSet(nil, nil); err == nil {
+		t.Error("accepted a nil graph")
+	}
+}
+
+// TestCellSetRebase pins the mask-aware re-attachment: dropping one
+// undirected link (the faults engine's construction) rebases the snapshot
+// onto the degraded graph without repartitioning, with the masked arcs
+// gone from every view.
+func TestCellSetRebase(t *testing.T) {
+	g, assign := cellsFixture()
+	cs, err := NewCellSet(g, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the graph minus the 1-2 link, walking the original arc list
+	// in order (IDs 2 and 3 dropped).
+	degraded := New(6)
+	for id := 0; id < g.NumArcs(); id++ {
+		a := g.Arc(id)
+		if (a.From == 1 && a.To == 2) || (a.From == 2 && a.To == 1) {
+			continue
+		}
+		degraded.AddArc(a.From, a.To, a.Cost, a.Cap)
+	}
+	rb, ok := cs.Rebase(degraded)
+	if !ok {
+		t.Fatal("Rebase rejected a faults-shaped sub-sequence graph")
+	}
+	if rb.Base() != degraded || !rb.Fresh(degraded) {
+		t.Fatal("rebased snapshot not attached to the degraded graph")
+	}
+	if got := len(rb.Cell(0).InternalArcs()); got != 4 {
+		t.Errorf("cell 0 has %d internal arcs after rebase, want 4", got)
+	}
+	if got := len(rb.GatewayArcs()); got != 2 {
+		t.Errorf("%d gateway arcs after rebase, want 2", got)
+	}
+	// Same pointer when nothing changed.
+	if same, ok := cs.Rebase(g); !ok || same != cs {
+		t.Error("Rebase of the identical graph did not short-circuit")
+	}
+	// A graph with an extra arc does not embed.
+	bigger := g.Clone()
+	bigger.AddEdge(0, 5, 3, 1)
+	if _, ok := cs.Rebase(bigger); ok {
+		t.Error("Rebase accepted a graph with arcs the base lacks")
+	}
+}

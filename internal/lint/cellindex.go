@@ -1,0 +1,264 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// cellLocalDirective marks a function that works in a cell's local index
+// space: the per-cell LP builders and mutators of the partition-aware
+// solve pipeline (DESIGN.md §10). Inside such a function, global node and
+// arc identifiers must cross into local coordinates through the cell's
+// translation maps (graph.CellView.LocalNode, export/import position
+// maps) before any offset computation — graph.NodeID and graph.ArcID are
+// aliases of int, so the compiler cannot catch a global ID leaking into
+// local arithmetic. The annotation contract mirrors //jcr:hotpath: put
+// //jcr:celllocal in the doc comment of the function (a directive on a
+// type documents intent but checks nothing).
+const cellLocalDirective = "//jcr:celllocal"
+
+// CellIndexAnalyzer reports arithmetic on graph.NodeID / graph.ArcID
+// values inside //jcr:celllocal functions. NodeID and ArcID are type
+// aliases, so the check is syntactic: it tracks identifiers whose source
+// declaration spells one of the ID types (parameters, var declarations,
+// range over an ID slice, assignment from a tracked identifier or an
+// explicit ID conversion) and flags +, -, *, /, %, the compound
+// assignments, and ++/-- on them. Comparisons, map lookups, and passing
+// IDs to translation helpers stay legal — only offset arithmetic on a raw
+// global ID is the bug this catches.
+var CellIndexAnalyzer = &Analyzer{
+	Name: "cell-index",
+	Doc:  "no raw NodeID/ArcID arithmetic inside //jcr:celllocal functions; translate through the cell's local maps first",
+	Run:  runCellIndex,
+}
+
+func runCellIndex(p *Pass) {
+	for _, fd := range funcDecls(p.Pkg) {
+		if !hasDirective(fd, cellLocalDirective) {
+			continue
+		}
+		tracked := cellIDObjects(p.Pkg, fd)
+		isID := func(e ast.Expr) (string, bool) {
+			e = ast.Unparen(e)
+			if kind, ok := cellIDConversion(p.Pkg, e); ok {
+				return kind, true
+			}
+			id, ok := e.(*ast.Ident)
+			if !ok {
+				return "", false
+			}
+			kind, ok := tracked[p.Pkg.Info.Uses[id]]
+			return kind, ok && kind != ""
+		}
+		report := func(pos token.Pos, kind, op string) {
+			p.Reportf(pos, "%s on graph.%s in //jcr:celllocal code; translate to a local index (CellView.LocalNode, position maps) before computing offsets", op, kind)
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if !cellArithOp(n.Op) {
+					return true
+				}
+				if kind, ok := isID(n.X); ok {
+					report(n.Pos(), kind, "arithmetic")
+				} else if kind, ok := isID(n.Y); ok {
+					report(n.Pos(), kind, "arithmetic")
+				}
+			case *ast.AssignStmt:
+				if !cellArithAssign(n.Tok) {
+					return true
+				}
+				for i := range n.Lhs {
+					if kind, ok := isID(n.Lhs[i]); ok {
+						report(n.Pos(), kind, "compound assignment")
+						break
+					}
+				}
+			case *ast.IncDecStmt:
+				if kind, ok := isID(n.X); ok {
+					report(n.Pos(), kind, "increment")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// hasDirective reports whether the declaration's doc comment carries the
+// given //jcr: directive.
+func hasDirective(fd *ast.FuncDecl, directive string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == directive || (len(c.Text) > len(directive) && c.Text[:len(directive)] == directive) {
+			return true
+		}
+	}
+	return false
+}
+
+func cellArithOp(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.MUL, token.QUO, token.REM:
+		return true
+	}
+	return false
+}
+
+func cellArithAssign(tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN, token.REM_ASSIGN:
+		return true
+	}
+	return false
+}
+
+// cellIDSpelling returns "NodeID" or "ArcID" when the type expression
+// spells one of the graph ID aliases — qualified (graph.NodeID) from
+// client packages, or bare (NodeID) inside package graph itself.
+func cellIDSpelling(pkg *Package, t ast.Expr) string {
+	switch t := t.(type) {
+	case *ast.SelectorExpr:
+		if selectorPackage(pkg, t) == "jcr/internal/graph" {
+			return cellIDName(t.Sel.Name)
+		}
+	case *ast.Ident:
+		if pkg.Path == "jcr/internal/graph" {
+			return cellIDName(t.Name)
+		}
+	}
+	return ""
+}
+
+func cellIDName(name string) string {
+	if name == "NodeID" || name == "ArcID" {
+		return name
+	}
+	return ""
+}
+
+// cellIDSliceElem returns the ID kind of a []graph.NodeID / []graph.ArcID
+// spelling, "" otherwise.
+func cellIDSliceElem(pkg *Package, t ast.Expr) string {
+	at, ok := t.(*ast.ArrayType)
+	if !ok {
+		return ""
+	}
+	return cellIDSpelling(pkg, at.Elt)
+}
+
+// cellIDConversion reports whether e is an explicit graph.NodeID(...) /
+// graph.ArcID(...) conversion — an ID-valued expression by spelling.
+func cellIDConversion(pkg *Package, e ast.Expr) (string, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return "", false
+	}
+	if kind := cellIDSpelling(pkg, call.Fun); kind != "" {
+		return kind, true
+	}
+	return "", false
+}
+
+// cellIDObjects collects the function's identifiers declared with an ID
+// spelling: parameters and named results, var declarations, range values
+// over ID slices, and short declarations initialized from a tracked
+// identifier or an explicit ID conversion. Propagation is forward-only —
+// declaration precedes use inside a function body.
+func cellIDObjects(pkg *Package, fd *ast.FuncDecl) map[types.Object]string {
+	tracked := map[types.Object]string{}
+	slices := map[types.Object]string{}
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			kind := cellIDSpelling(pkg, f.Type)
+			elem := cellIDSliceElem(pkg, f.Type)
+			for _, name := range f.Names {
+				obj := pkg.Info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if kind != "" {
+					tracked[obj] = kind
+				}
+				if elem != "" {
+					slices[obj] = elem
+				}
+			}
+		}
+	}
+	addFields(fd.Recv)
+	addFields(fd.Type.Params)
+	addFields(fd.Type.Results)
+	track := func(name *ast.Ident, kind string) {
+		if kind == "" || name.Name == "_" {
+			return
+		}
+		if obj := pkg.Info.Defs[name]; obj != nil {
+			tracked[obj] = kind
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GenDecl:
+			if n.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || vs.Type == nil {
+					continue
+				}
+				kind := cellIDSpelling(pkg, vs.Type)
+				elem := cellIDSliceElem(pkg, vs.Type)
+				for _, name := range vs.Names {
+					track(name, kind)
+					if elem != "" {
+						if obj := pkg.Info.Defs[name]; obj != nil {
+							slices[obj] = elem
+						}
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			// for _, v := range ids — the value var of an ID slice is an ID.
+			x, ok := ast.Unparen(n.X).(*ast.Ident)
+			if !ok || n.Value == nil {
+				return true
+			}
+			elem, ok := slices[pkg.Info.Uses[x]]
+			if !ok {
+				return true
+			}
+			if v, ok := n.Value.(*ast.Ident); ok {
+				track(v, elem)
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i := range n.Lhs {
+				name, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				rhs := ast.Unparen(n.Rhs[i])
+				if kind, ok := cellIDConversion(pkg, rhs); ok {
+					track(name, kind)
+					continue
+				}
+				if src, ok := rhs.(*ast.Ident); ok {
+					if kind, ok := tracked[pkg.Info.Uses[src]]; ok {
+						track(name, kind)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return tracked
+}

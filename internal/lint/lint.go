@@ -144,5 +144,6 @@ func Registry() []*Analyzer {
 		WallClockAnalyzer,
 		LockDisciplineAnalyzer,
 		HotAllocAnalyzer,
+		CellIndexAnalyzer,
 	}
 }

@@ -49,6 +49,18 @@ type Reuse struct {
 	// node has no incident arcs (no row emitted).
 	mcRow [][]int
 
+	// Partition-aware solve caches (decompose.go): the cell decomposition
+	// snapshot, keyed on the base graph's freshness and the assignment
+	// content (with a Rebase fast path onto faults-degraded graphs), and
+	// the per-cell LP skeletons with their warm solver handles, keyed on
+	// the auxiliary graph's pointer and generation — between alternating
+	// rounds only the conservation right-hand sides and variable bounds
+	// move, so every cell re-solves warm.
+	dcSet   *graph.CellSet
+	dcAux   *graph.Auxiliary
+	dcGen   uint64
+	dcProgs []*cellProg
+
 	eng *graph.Engine
 }
 
@@ -86,6 +98,9 @@ func (r *Reuse) Invalidate() {
 	r.mcProb = nil
 	r.mcAux = nil
 	r.mcRow = nil
+	r.dcSet = nil
+	r.dcAux = nil
+	r.dcProgs = nil
 	r.eng = nil
 	r.mcSolver.Invalidate()
 }
@@ -131,7 +146,7 @@ func (r *Reuse) baseDemand(s *placement.Spec) []itemDemand {
 		if total == 0 {
 			continue
 		}
-		out = append(out, itemDemand{item: i, sinks: sinks, total: total})
+		out = append(out, itemDemand{item: i, sinks: sinks, sorted: sortedSinks(sinks), total: total})
 	}
 	if r != nil {
 		r.demSpec = s
@@ -233,4 +248,67 @@ func (r *Reuse) mcStore(aux *graph.Auxiliary, p *lp.Problem, rows [][]int) {
 	r.mcAux = aux
 	r.mcGen = aux.G.Gen()
 	r.mcRow = rows
+}
+
+// cellSet returns the decomposition snapshot for (base, assign), reusing
+// the cached one while it is fresh, rebasing it onto a faults-degraded
+// graph when possible, and rebuilding otherwise. Nil-safe.
+func (r *Reuse) cellSet(base *graph.Graph, assign []int) (*graph.CellSet, error) {
+	if r != nil && r.dcSet != nil && intSliceEqual(r.dcSet.Assign(), assign) {
+		if r.dcSet.Fresh(base) {
+			return r.dcSet, nil
+		}
+		if rb, ok := r.dcSet.Rebase(base); ok {
+			r.dcSet = rb
+			r.dcProgs = nil
+			return rb, nil
+		}
+	}
+	cs, err := graph.NewCellSet(base, assign)
+	if err != nil {
+		return nil, err
+	}
+	if r != nil {
+		r.dcSet = cs
+		r.dcProgs = nil
+	}
+	return cs, nil
+}
+
+// cellPrograms returns the per-cell LP skeletons for (cs, aux, active). On
+// a structurally repeated instance — the cached cell set, the cached
+// auxiliary graph at the same generation (which pins the replica groups),
+// and the same active item count — the cached skeletons are mutated in
+// place (demand right-hand sides and per-item bounds) so every cell's
+// solver warm-starts from its previous basis; otherwise the skeletons are
+// rebuilt and retained. Nil-safe.
+func (r *Reuse) cellPrograms(cs *graph.CellSet, aux *graph.Auxiliary, active []itemDemand) ([]*cellProg, error) {
+	if r != nil && r.dcProgs != nil && r.dcSet == cs && r.dcAux == aux && r.dcGen == aux.G.Gen() &&
+		mutateCellPrograms(r.dcProgs, active) {
+		return r.dcProgs, nil
+	}
+	progs, err := buildCellPrograms(cs, aux, active)
+	if err != nil {
+		return nil, err
+	}
+	if r != nil {
+		r.dcProgs = progs
+		r.dcSet = cs
+		r.dcAux = aux
+		r.dcGen = aux.G.Gen()
+	}
+	return progs, nil
+}
+
+// intSliceEqual reports element-wise equality of two assignments.
+func intSliceEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

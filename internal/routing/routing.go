@@ -38,6 +38,7 @@ const (
 	MethodIndependent = "independent"
 	MethodLP          = "lp"
 	MethodSequential  = "sequential"
+	MethodDecomposed  = "decomposed"
 )
 
 // Numerical tolerances shared across the routing solver, named in one
@@ -92,6 +93,13 @@ type Options struct {
 	// auxiliary graph, and the multicommodity LP skeleton with its
 	// warm-start solver handle (see Reuse). Nil solves from scratch.
 	Reuse *Reuse
+	// Decompose, when non-nil, enables the partition-aware solve path for
+	// instances too large for the monolithic LP: cells solve their own
+	// small LPs coordinated through Lagrangian prices on the gateway arcs
+	// (see decompose.go). Instances at or below Decompose.MinVars flow
+	// variables keep the monolithic pipeline, and any decomposition
+	// failure falls back to it as well.
+	Decompose *DecomposeOptions
 }
 
 const defaultLPMaxVars = 6000
@@ -101,7 +109,12 @@ const defaultLPMaxVars = 6000
 type itemDemand struct {
 	item  int
 	sinks map[graph.NodeID]float64
-	total float64
+	// sorted lists the sink nodes ascending, computed once when the demand
+	// set is built: the per-item flow loop and the path decomposition both
+	// need a deterministic sink order, and re-sorting inside those loops
+	// was pure per-call overhead (the demand sets repeat across rounds).
+	sorted []graph.NodeID
+	total  float64
 }
 
 // Result is a routing solution.
@@ -120,6 +133,9 @@ type Result struct {
 	// the item reachable from the requester) to their demand rate. Only
 	// populated under Options.BestEffort; nil when everything is served.
 	Unserved map[placement.Request]float64
+	// Decomposed carries the partition-aware solve's duality certificate
+	// when Method is MethodDecomposed; nil otherwise.
+	Decomposed *DecomposeInfo
 }
 
 // Route solves the routing subproblem for the given placement.
@@ -167,6 +183,7 @@ func RouteContext(ctx context.Context, s *placement.Spec, pl *placement.Placemen
 			}
 			return nil, fmt.Errorf("routing: item %d has no replicas", i)
 		}
+		sorted := bd.sorted
 		if opts.BestEffort {
 			// Drop demand no replica can reach (links down, network
 			// partitioned); the flow solvers would otherwise fail the
@@ -177,21 +194,37 @@ func RouteContext(ctx context.Context, s *placement.Spec, pl *placement.Placemen
 			// trees (replica sets repeat across rounds and hours) give
 			// exactly the set a structural search would.
 			reach := opts.Reuse.Engine().Reach(s.G, reps)
-			// Sorted order keeps the floating-point subtraction sequence
-			// (and hence total's last bits) independent of map iteration.
-			for _, v := range sortedSinks(sinks) {
-				if !reach[v] {
-					r := sinks[v]
-					unserved[placement.Request{Item: i, Node: v}] = r
-					delete(sinks, v)
-					total -= r
+			// The cached sorted order keeps the floating-point subtraction
+			// sequence (and hence total's last bits) independent of map
+			// iteration; filtering preserves it, so nothing re-sorts. The
+			// kept-slice copy is deferred until the first drop — in the
+			// common all-reachable case the cached slice is shared as-is.
+			var kept []graph.NodeID
+			dropped := false
+			for idx, v := range bd.sorted {
+				if reach[v] {
+					if dropped {
+						kept = append(kept, v)
+					}
+					continue
 				}
+				if !dropped {
+					kept = append(kept, bd.sorted[:idx]...)
+					dropped = true
+				}
+				r := sinks[v]
+				unserved[placement.Request{Item: i, Node: v}] = r
+				delete(sinks, v)
+				total -= r
+			}
+			if dropped {
+				sorted = kept
 			}
 			if total <= 0 {
 				continue
 			}
 		}
-		active = append(active, itemDemand{item: i, sinks: sinks, total: total})
+		active = append(active, itemDemand{item: i, sinks: sinks, sorted: sorted, total: total})
 		groups = append(groups, reps)
 	}
 	if len(unserved) == 0 {
@@ -200,7 +233,7 @@ func RouteContext(ctx context.Context, s *placement.Spec, pl *placement.Placemen
 	aux := opts.Reuse.auxiliary(s.G, groups)
 
 	// Splittable per-item arc flows on the auxiliary graph.
-	flows, method, err := splittableFlows(ctx, aux, active, opts)
+	flows, method, dinfo, err := splittableFlows(ctx, aux, active, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -245,7 +278,7 @@ func RouteContext(ctx context.Context, s *placement.Spec, pl *placement.Placemen
 			}
 		}
 		cost, loads, maxUtil := placement.EvaluateServing(s, paths, pl)
-		return &Result{Paths: paths, Cost: cost, Loads: loads, MaxUtilization: maxUtil, Method: method, Unserved: unserved}, nil
+		return &Result{Paths: paths, Cost: cost, Loads: loads, MaxUtilization: maxUtil, Method: method, Unserved: unserved, Decomposed: dinfo}, nil
 	}
 	// Randomized rounding (MMUFP): draw each request's single path with
 	// probability proportional to its flow; repeat and keep the draw
@@ -289,7 +322,7 @@ func RouteContext(ctx context.Context, s *placement.Spec, pl *placement.Placemen
 			paths = append(paths, placement.ServingPath{Req: ro.rq, Path: base, Rate: demandOf(ro)})
 		}
 		cost, loads, maxUtil := placement.EvaluateServing(s, paths, pl)
-		cand := &Result{Paths: paths, Cost: cost, Loads: loads, MaxUtilization: maxUtil, Method: method, Unserved: unserved}
+		cand := &Result{Paths: paths, Cost: cost, Loads: loads, MaxUtilization: maxUtil, Method: method, Unserved: unserved, Decomposed: dinfo}
 		if best == nil ||
 			cand.MaxUtilization < best.MaxUtilization-utilTol ||
 			(math.Abs(cand.MaxUtilization-best.MaxUtilization) <= utilTol && cand.Cost < best.Cost) {
@@ -326,7 +359,7 @@ func SolveMMSFPExact(s *placement.Spec, pl *placement.Placement) (float64, error
 		if len(reps) == 0 {
 			return 0, fmt.Errorf("routing: item %d has no replicas", i)
 		}
-		active = append(active, itemDemand{item: i, sinks: sinks, total: total})
+		active = append(active, itemDemand{item: i, sinks: sinks, sorted: sortedSinks(sinks), total: total})
 		groups = append(groups, reps)
 	}
 	if len(active) == 0 {
@@ -373,8 +406,9 @@ func reachableFrom(g *graph.Graph, roots []graph.NodeID) []bool {
 
 // splittableFlows computes per-item arc flows (indexed like aux.G arcs)
 // satisfying each item's demands, minimizing total cost within shared real
-// link capacities when possible.
-func splittableFlows(ctx context.Context, aux *graph.Auxiliary, active []itemDemand, opts Options) ([][]float64, string, error) {
+// link capacities when possible. The *DecomposeInfo is non-nil exactly when
+// the partition-aware path produced the flows.
+func splittableFlows(ctx context.Context, aux *graph.Auxiliary, active []itemDemand, opts Options) ([][]float64, string, *DecomposeInfo, error) {
 	g := aux.G
 	// 1. Independent per-item min-cost flows, each respecting the link
 	// capacities on its own. The items are independent here — each one
@@ -383,7 +417,7 @@ func splittableFlows(ctx context.Context, aux *graph.Auxiliary, active []itemDem
 	// the aggregation below runs sequentially in item order.
 	flows := make([][]float64, len(active))
 	if err := par.Do(ctx, opts.Workers, len(active), func(k int) error {
-		f, err := itemMinCostFlow(ctx, aux, k, active[k].sinks, nil, false)
+		f, err := itemMinCostFlow(ctx, aux, k, active[k], nil, false)
 		if err != nil {
 			if ctx != nil && ctx.Err() != nil {
 				return err
@@ -391,7 +425,7 @@ func splittableFlows(ctx context.Context, aux *graph.Auxiliary, active []itemDem
 			// Even this single item exceeds some capacity: route it
 			// capacity-obliviously; the congestion check below will
 			// send us to the coupled solvers.
-			f, err = itemMinCostFlow(ctx, aux, k, active[k].sinks, nil, true)
+			f, err = itemMinCostFlow(ctx, aux, k, active[k], nil, true)
 			if err != nil {
 				return err
 			}
@@ -399,7 +433,7 @@ func splittableFlows(ctx context.Context, aux *graph.Auxiliary, active []itemDem
 		flows[k] = f
 		return nil
 	}); err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
 	agg := make([]float64, g.NumArcs())
 	independentOK := true
@@ -415,21 +449,34 @@ func splittableFlows(ctx context.Context, aux *graph.Auxiliary, active []itemDem
 		}
 	}
 	if independentOK {
-		return flows, MethodIndependent, nil
+		return flows, MethodIndependent, nil, nil
 	}
-	// 2. Exact multicommodity LP when small enough.
+	// 2. Partition-aware decomposition for instances above its size
+	// threshold: per-cell LPs coordinated through gateway prices, with the
+	// monolithic pipeline below as the fallback (and differential oracle)
+	// whenever the decomposition cannot certify a feasible routing.
+	if dec := opts.Decompose; dec != nil && len(active)*g.NumArcs() > dec.minVars() {
+		dFlows, info, derr := decomposedFlows(ctx, aux, active, opts)
+		if derr == nil {
+			return dFlows, MethodDecomposed, info, nil
+		}
+		if ctx != nil && ctx.Err() != nil {
+			return nil, "", nil, derr
+		}
+	}
+	// 3. Exact multicommodity LP when small enough.
 	if len(active)*g.NumArcs() <= opts.LPMaxVars {
 		lpFlows, err := multicommodityLP(ctx, aux, active, opts.Reuse)
 		if err == nil {
-			return lpFlows, MethodLP, nil
+			return lpFlows, MethodLP, nil, nil
 		}
 		if ctx != nil && ctx.Err() != nil {
-			return nil, "", err
+			return nil, "", nil, err
 		}
 		// Infeasible or numerically stuck: fall through to the
 		// sequential heuristic, which always produces a solution.
 	}
-	// 3. Sequential residual-capacity routing, largest demand first,
+	// 4. Sequential residual-capacity routing, largest demand first,
 	// with a capacity-oblivious fallback per item.
 	order := make([]int, len(active))
 	for i := range order {
@@ -441,16 +488,16 @@ func splittableFlows(ctx context.Context, aux *graph.Auxiliary, active []itemDem
 		residual[id] = g.Arc(id).Cap
 	}
 	for _, k := range order {
-		f, err := itemMinCostFlow(ctx, aux, k, active[k].sinks, residual, false)
+		f, err := itemMinCostFlow(ctx, aux, k, active[k], residual, false)
 		if err != nil {
 			if ctx != nil && ctx.Err() != nil {
-				return nil, "", err
+				return nil, "", nil, err
 			}
 			// No room left: route capacity-obliviously and absorb
 			// the congestion (measured by the caller).
-			f, err = itemMinCostFlow(ctx, aux, k, active[k].sinks, nil, true)
+			f, err = itemMinCostFlow(ctx, aux, k, active[k], nil, true)
 			if err != nil {
-				return nil, "", err
+				return nil, "", nil, err
 			}
 		}
 		flows[k] = f
@@ -461,7 +508,7 @@ func splittableFlows(ctx context.Context, aux *graph.Auxiliary, active []itemDem
 			}
 		}
 	}
-	return flows, MethodSequential, nil
+	return flows, MethodSequential, nil, nil
 }
 
 // itemMinCostFlow routes one item's demands from its virtual source via a
@@ -479,7 +526,7 @@ func sortedSinks(sinks map[graph.NodeID]float64) []graph.NodeID {
 	return out
 }
 
-func itemMinCostFlow(ctx context.Context, aux *graph.Auxiliary, k int, sinks map[graph.NodeID]float64, residual []float64, unlimited bool) ([]float64, error) {
+func itemMinCostFlow(ctx context.Context, aux *graph.Auxiliary, k int, ad itemDemand, residual []float64, unlimited bool) ([]float64, error) {
 	gg := aux.G.Clone()
 	switch {
 	case unlimited:
@@ -498,10 +545,12 @@ func itemMinCostFlow(ctx context.Context, aux *graph.Auxiliary, k int, sinks map
 	var total float64
 	// Sorted sink order: the demand arcs' IDs influence which of several
 	// equal-cost flows the solver returns, so map iteration order must not
-	// leak into the graph construction.
-	for _, t := range sortedSinks(sinks) {
-		gg.AddArc(t, super, 0, sinks[t])
-		total += sinks[t]
+	// leak into the graph construction. The order is precomputed when the
+	// demand set is built (see itemDemand.sorted) — this loop runs once per
+	// item per solve and must not re-sort.
+	for _, t := range ad.sorted {
+		gg.AddArc(t, super, 0, ad.sinks[t])
+		total += ad.sinks[t]
 	}
 	res, err := flow.MinCostFlowContext(ctx, gg, aux.VirtualSource[k], super, total)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 
 	"jcr/internal/core"
 	"jcr/internal/placement"
+	"jcr/internal/routing"
 )
 
 func init() {
@@ -63,6 +64,10 @@ type Alternating struct {
 	// NoSolverReuse disables the carried SolveState; every subproblem
 	// then solves cold, reproducing single-shot historical behavior.
 	NoSolverReuse bool
+	// Decompose, when non-nil, threads the partition-aware routing path
+	// into every round's routing subproblem (see routing.DecomposeOptions
+	// and the Decomposed strategy wrapping this).
+	Decompose *routing.DecomposeOptions
 
 	prev  *placement.Placement
 	state *core.SolveState
@@ -91,6 +96,7 @@ func (a *Alternating) Decide(ctx context.Context, inst Instance) (*Plan, Stats, 
 	}
 	opts.Routing.BestEffort = a.BestEffort
 	opts.Routing.RoundingTrials = a.RoundingTrials
+	opts.Routing.Decompose = a.Decompose
 	if !a.NoSolverReuse {
 		if a.state == nil {
 			a.state = core.NewSolveState()

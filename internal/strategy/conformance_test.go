@@ -125,7 +125,7 @@ func TestConformance(t *testing.T) {
 // TestConformanceRoster pins the registry roster: the paper's four
 // algorithms plus the three related-work baselines.
 func TestConformanceRoster(t *testing.T) {
-	want := []string{"alg1", "alg2", "alternating", "cachenet-random", "exact", "iy-fixedpath", "mindelay"}
+	want := []string{"alg1", "alg2", "alternating", "cachenet-random", "decomposed", "exact", "iy-fixedpath", "mindelay"}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("registry roster = %v, want %v", got, want)
 	}

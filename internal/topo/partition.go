@@ -1,0 +1,254 @@
+package topo
+
+import (
+	"fmt"
+	"sort"
+
+	"jcr/internal/graph"
+)
+
+// Partition splits a graph's nodes into k non-empty cells by deterministic
+// recursive edge-cut bisection, the decomposition substrate of the
+// partition-aware solve pipeline (DESIGN.md §10): each level grows one side
+// of the split by breadth-first search from a peripheral seed over a
+// CSR-style flattening of the undirected adjacency, then runs a bounded
+// number of greedy boundary-refinement passes that move nodes across the
+// split only when doing so strictly reduces the number of cut edges without
+// unbalancing the halves. The returned assignment maps every node to a cell
+// index in [0, k); cell indices are dense and every cell is non-empty.
+//
+// The construction is a pure function of (g, k): no randomness, ties broken
+// by node ID, so repeated calls (and any worker count downstream) see the
+// same cells.
+func Partition(g *graph.Graph, k int) ([]int, error) {
+	if g == nil || g.NumNodes() == 0 {
+		return nil, fmt.Errorf("topo: cannot partition an empty graph")
+	}
+	n := g.NumNodes()
+	if k < 1 {
+		return nil, fmt.Errorf("topo: need at least 1 cell, got %d", k)
+	}
+	if k > n {
+		return nil, fmt.Errorf("topo: %d cells exceed %d nodes", k, n)
+	}
+	assign := make([]int, n)
+	if k == 1 {
+		return assign, nil
+	}
+	adj := flattenAdjacency(g)
+	nodes := make([]graph.NodeID, n)
+	for v := range nodes {
+		nodes[v] = v
+	}
+	bisect(adj, nodes, k, 0, assign)
+	return assign, nil
+}
+
+// CutArcs counts the arcs of g whose endpoints land in different cells of
+// the assignment — the gateway arcs the boundary coordinator prices.
+func CutArcs(g *graph.Graph, assign []int) int {
+	cut := 0
+	for id := 0; id < g.NumArcs(); id++ {
+		a := g.Arc(id)
+		if assign[a.From] != assign[a.To] {
+			cut++
+		}
+	}
+	return cut
+}
+
+// flatAdj is a CSR-style snapshot of the undirected adjacency: nbr[off[v]:
+// off[v+1]] lists v's neighbors across both arc directions (parallel arcs
+// kept, so boundary gains weight multi-edges correctly).
+type flatAdj struct {
+	off []int
+	nbr []graph.NodeID
+}
+
+func (a *flatAdj) neighbors(v graph.NodeID) []graph.NodeID { return a.nbr[a.off[v]:a.off[v+1]] }
+
+func flattenAdjacency(g *graph.Graph) *flatAdj {
+	n := g.NumNodes()
+	a := &flatAdj{off: make([]int, n+1)}
+	for v := 0; v < n; v++ {
+		a.off[v+1] = a.off[v] + g.OutDegree(v) + g.InDegree(v)
+	}
+	a.nbr = make([]graph.NodeID, a.off[n])
+	fill := append([]int(nil), a.off[:n]...)
+	for v := 0; v < n; v++ {
+		for _, id := range g.Out(v) {
+			a.nbr[fill[v]] = g.Arc(id).To
+			fill[v]++
+		}
+		for _, id := range g.In(v) {
+			a.nbr[fill[v]] = g.Arc(id).From
+			fill[v]++
+		}
+	}
+	return a
+}
+
+// bisect assigns cells [cell0, cell0+k) to the given nodes. For k == 1 the
+// recursion bottoms out; otherwise the nodes are split into two sides with
+// sizes proportional to the cell counts each side will receive.
+func bisect(adj *flatAdj, nodes []graph.NodeID, k, cell0 int, assign []int) {
+	if k == 1 {
+		for _, v := range nodes {
+			assign[v] = cell0
+		}
+		return
+	}
+	kA := (k + 1) / 2
+	targetA := len(nodes) * kA / k
+	if targetA < 1 {
+		targetA = 1
+	}
+	if targetA > len(nodes)-1 {
+		targetA = len(nodes) - 1
+	}
+	inA := growRegion(adj, nodes, targetA)
+	refineCut(adj, nodes, inA, targetA)
+	var sideA, sideB []graph.NodeID
+	for _, v := range nodes {
+		if inA[v] {
+			sideA = append(sideA, v)
+		} else {
+			sideB = append(sideB, v)
+		}
+	}
+	bisect(adj, sideA, kA, cell0, assign)
+	bisect(adj, sideB, k-kA, cell0+kA, assign)
+}
+
+// growRegion marks target nodes as side A by breadth-first search from a
+// peripheral seed (a double BFS sweep from the lowest node ID finds it), so
+// side A is connected whenever the induced subgraph is. Disconnected
+// leftovers are swept up from the lowest remaining ID.
+func growRegion(adj *flatAdj, nodes []graph.NodeID, target int) map[graph.NodeID]bool {
+	member := make(map[graph.NodeID]bool, len(nodes))
+	for _, v := range nodes {
+		member[v] = true
+	}
+	seed := peripheralNode(adj, nodes, member)
+	inA := make(map[graph.NodeID]bool, target)
+	frontier := []graph.NodeID{seed}
+	inA[seed] = true
+	count := 1
+	for count < target {
+		var next []graph.NodeID
+		for _, v := range frontier {
+			for _, w := range adj.neighbors(v) {
+				if member[w] && !inA[w] && count < target {
+					inA[w] = true
+					count++
+					next = append(next, w)
+				}
+			}
+		}
+		if len(next) == 0 {
+			// Induced subgraph exhausted a component; restart from the
+			// lowest unassigned node.
+			restart := graph.NodeID(-1)
+			for _, v := range nodes {
+				if !inA[v] {
+					restart = v
+					break
+				}
+			}
+			if restart < 0 {
+				break
+			}
+			inA[restart] = true
+			count++
+			next = []graph.NodeID{restart}
+		}
+		frontier = next
+	}
+	return inA
+}
+
+// peripheralNode runs a double BFS sweep restricted to member nodes: from
+// the lowest node ID to its farthest node, which seeds the region growth at
+// the periphery rather than the center (smaller cuts for mesh-like cores).
+func peripheralNode(adj *flatAdj, nodes []graph.NodeID, member map[graph.NodeID]bool) graph.NodeID {
+	far := func(src graph.NodeID) graph.NodeID {
+		seen := map[graph.NodeID]bool{src: true}
+		frontier := []graph.NodeID{src}
+		last := src
+		for len(frontier) > 0 {
+			sort.Ints(frontier)
+			last = frontier[0]
+			var next []graph.NodeID
+			for _, v := range frontier {
+				for _, w := range adj.neighbors(v) {
+					if member[w] && !seen[w] {
+						seen[w] = true
+						next = append(next, w)
+					}
+				}
+			}
+			frontier = next
+		}
+		return last
+	}
+	return far(far(nodes[0]))
+}
+
+// refineCut runs two deterministic passes of greedy boundary moves: a node
+// moves to the other side when that strictly cuts fewer of its incident
+// edges, unless the move would push either side below three quarters of its
+// target share. Nodes are visited in ascending ID order.
+func refineCut(adj *flatAdj, nodes []graph.NodeID, inA map[graph.NodeID]bool, targetA int) {
+	sorted := append([]graph.NodeID(nil), nodes...)
+	sort.Ints(sorted)
+	member := make(map[graph.NodeID]bool, len(nodes))
+	for _, v := range nodes {
+		member[v] = true
+	}
+	sizeA := len(inA)
+	minA := 3 * targetA / 4
+	if minA < 1 {
+		minA = 1
+	}
+	targetB := len(nodes) - targetA
+	minB := 3 * targetB / 4
+	if minB < 1 {
+		minB = 1
+	}
+	for pass := 0; pass < 2; pass++ {
+		moved := false
+		for _, v := range sorted {
+			same, other := 0, 0
+			for _, w := range adj.neighbors(v) {
+				if !member[w] {
+					continue
+				}
+				if inA[w] == inA[v] {
+					same++
+				} else {
+					other++
+				}
+			}
+			if other <= same {
+				continue
+			}
+			if inA[v] {
+				if sizeA-1 < minA {
+					continue
+				}
+				delete(inA, v)
+				sizeA--
+			} else {
+				if len(nodes)-sizeA-1 < minB {
+					continue
+				}
+				inA[v] = true
+				sizeA++
+			}
+			moved = true
+		}
+		if !moved {
+			break
+		}
+	}
+}

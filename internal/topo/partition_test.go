@@ -1,0 +1,104 @@
+package topo
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPartitionBasics(t *testing.T) {
+	net := Abovenet(1)
+	for _, k := range []int{1, 2, 3, 4, 7} {
+		assign, err := Partition(net.G, k)
+		if err != nil {
+			t.Fatalf("Partition(k=%d): %v", k, err)
+		}
+		if len(assign) != net.G.NumNodes() {
+			t.Fatalf("k=%d: assignment covers %d of %d nodes", k, len(assign), net.G.NumNodes())
+		}
+		sizes := make([]int, k)
+		for v, c := range assign {
+			if c < 0 || c >= k {
+				t.Fatalf("k=%d: node %d assigned out-of-range cell %d", k, v, c)
+			}
+			sizes[c]++
+		}
+		for c, s := range sizes {
+			if s == 0 {
+				t.Errorf("k=%d: cell %d is empty", k, c)
+			}
+		}
+		// Balance: no cell more than twice its fair share.
+		fair := net.G.NumNodes() / k
+		for c, s := range sizes {
+			if fair > 1 && s > 2*fair+1 {
+				t.Errorf("k=%d: cell %d has %d nodes, fair share %d", k, c, s, fair)
+			}
+		}
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	net := Tinet(3)
+	a, err := Partition(net.G, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Partition(net.G, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Partition is not deterministic:\n%v\n%v", a, b)
+	}
+}
+
+func TestPartitionSingleCell(t *testing.T) {
+	net := Abovenet(1)
+	assign, err := Partition(net.G, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range assign {
+		if c != 0 {
+			t.Fatalf("k=1: node %d in cell %d", v, c)
+		}
+	}
+	if cut := CutArcs(net.G, assign); cut != 0 {
+		t.Fatalf("k=1 cut %d arcs", cut)
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	net := Abovenet(1)
+	if _, err := Partition(net.G, 0); err == nil {
+		t.Error("Partition accepted k=0")
+	}
+	if _, err := Partition(net.G, -2); err == nil {
+		t.Error("Partition accepted negative k")
+	}
+	if _, err := Partition(net.G, net.G.NumNodes()+1); err == nil {
+		t.Error("Partition accepted more cells than nodes")
+	}
+	if _, err := Partition(nil, 2); err == nil {
+		t.Error("Partition accepted a nil graph")
+	}
+}
+
+// TestPartitionCompositeCut pins cut quality where the right answer is
+// known: a composite network's blocks are joined only by its gateway
+// links, so an edge-cut bisection into Blocks cells should cut a small
+// multiple of the seam arcs, not a block's worth of internal links.
+func TestPartitionCompositeCut(t *testing.T) {
+	comp, err := Composite(Abovenet(1), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := Partition(comp.G, comp.Blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seamArcs := 2 * len(comp.GatewayLinks)
+	if cut := CutArcs(comp.G, assign); cut > 3*seamArcs {
+		t.Errorf("bisection cut %d arcs; the block structure needs only %d", cut, seamArcs)
+	}
+}

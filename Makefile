@@ -35,16 +35,16 @@ bench:
 # lookup/swap, experiment-harness times) for tracking the perf trajectory
 # across PRs.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_pr9.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr10.json
 
 # Perf gate: fail if the current tree regressed the LP or shortest-path
 # micro-benchmarks by more than 15% against the committed previous-PR
 # baseline (CI runs this, skippable with the `skip-bench` PR label).
 bench-compare:
-	$(GO) run ./cmd/benchjson -only lp_sparse_solve,dijkstra_tree,yen_k25,online_fault_reroute,serve_lookup,plan_swap,decide_alg1,decide_mindelay -repeat 3 -out /tmp/bench_head.json
+	$(GO) run ./cmd/benchjson -only lp_sparse_solve,lp_dual,lp_pivot_heavy_ft,dijkstra_tree,yen_k25,online_fault_reroute,serve_lookup,plan_swap,decide_alg1,decide_mindelay -repeat 3 -out /tmp/bench_head.json
 	$(GO) run ./cmd/benchjson -compare \
-		-names lp_sparse_solve_placement,lp_sparse_solve_mmsfp_sized,dijkstra_tree,yen_k25,online_fault_reroute,serve_lookup,plan_swap,decide_alg1,decide_mindelay \
-		BENCH_pr9.json /tmp/bench_head.json
+		-names lp_sparse_solve_placement,lp_sparse_solve_mmsfp_sized,lp_dual_warm_rhs,lp_pivot_heavy_ft,dijkstra_tree,yen_k25,online_fault_reroute,serve_lookup,plan_swap,decide_alg1,decide_mindelay \
+		BENCH_pr10.json /tmp/bench_head.json
 
 # Full suite under the race detector (also a CI job).
 race:

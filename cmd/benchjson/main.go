@@ -53,6 +53,11 @@ type Result struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	// PivotsPerSec is set for LP benchmarks only.
 	PivotsPerSec float64 `json:"pivots_per_sec,omitempty"`
+	// LPStats is the package-wide LP counter movement across the
+	// benchmark's runs (pivot mix, bound flips, refactorizations, eta
+	// density) — the pricing/update-discipline fingerprint that pairs with
+	// the ns/op number. Set for LP benchmarks only.
+	LPStats *lp.GlobalCounters `json:"lp_stats,omitempty"`
 	// LookupsPerSec is set for the serving-layer lookup benchmark only;
 	// the PR-7 acceptance gate pins it at >= 1M with zero allocs/op.
 	LookupsPerSec float64 `json:"lookups_per_sec,omitempty"`
@@ -65,7 +70,7 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr9.json", "output file ('-' = stdout)")
+	out := flag.String("out", "BENCH_pr10.json", "output file ('-' = stdout)")
 	mc := flag.Int("mc", 1, "Monte-Carlo runs for the experiment-harness timings")
 	repeat := flag.Int("repeat", 1, "repetitions per micro-benchmark; the minimum ns/op is reported (damps machine noise for compare mode)")
 	compare := flag.Bool("compare", false, "compare two report files (old new) and exit non-zero on regression")
@@ -122,6 +127,7 @@ func main() {
 			}
 			solve, build := b.solve, in.build
 			var pivots int
+			mark := lp.GlobalStats()
 			res := bench(func(tb *testing.B) {
 				tb.ReportAllocs()
 				for i := 0; i < tb.N; i++ {
@@ -136,6 +142,7 @@ func main() {
 			if res.NsPerOp() > 0 {
 				row.PivotsPerSec = float64(pivots) / (float64(res.NsPerOp()) / 1e9)
 			}
+			row.LPStats = lpDelta(mark)
 			rep.Benchmarks = append(rep.Benchmarks, row)
 		}
 	}
@@ -155,6 +162,7 @@ func main() {
 			continue
 		}
 		warm := b.warm
+		mark := lp.GlobalStats()
 		res := bench(func(tb *testing.B) {
 			tb.ReportAllocs()
 			p := mmsfpSizedLP()
@@ -171,7 +179,76 @@ func main() {
 				}
 			}
 		})
-		rep.Benchmarks = append(rep.Benchmarks, toResult(b.name, res))
+		row := toResult(b.name, res)
+		row.LPStats = lpDelta(mark)
+		rep.Benchmarks = append(rep.Benchmarks, row)
+	}
+
+	// RHS-only perturbation resolves: the retained basis stays dual feasible
+	// while the basic values drift out of their boxes, so the warm handle
+	// takes the dual-simplex rung instead of re-running phase 1 — the fault-
+	// mask/demand-drift shape. The cold twin prices what the dual restart
+	// saves end to end.
+	for _, b := range []struct {
+		name string
+		warm bool
+	}{
+		{"lp_dual_warm_rhs", true},
+		{"lp_dual_cold_rhs", false},
+	} {
+		if !want(b.name) {
+			continue
+		}
+		warm := b.warm
+		mark := lp.GlobalStats()
+		res := bench(func(tb *testing.B) {
+			tb.ReportAllocs()
+			// Maximizing makes the capacity rows bind, so tightening an RHS
+			// knocks basic structurals out of range — primal infeasible but
+			// dual feasible, the dual rung's home turf (the minimizing twin
+			// is optimal at zero and never leaves the retained basis).
+			p := mmsfpSizedLP()
+			p.SetSense(lp.Maximize)
+			var solver *lp.Solver
+			if warm {
+				solver = lp.NewSolver()
+			}
+			rng := rand.New(rand.NewSource(9))
+			for i := 0; i < tb.N; i++ {
+				must(p.SetConstraintRHS(rng.Intn(p.NumConstraints()), 2+4*rng.Float64()))
+				if _, err := solver.Solve(p); err != nil {
+					tb.Fatal(err)
+				}
+			}
+		})
+		row := toResult(b.name, res)
+		row.LPStats = lpDelta(mark)
+		rep.Benchmarks = append(rep.Benchmarks, row)
+	}
+
+	// Pivot-heavy cold solve: a transportation-shaped instance whose
+	// equality rows force a long phase 1, so the product-form update and
+	// stability/work-triggered refactorization discipline dominates the
+	// profile — the Forrest-Tomlin-style kernel benchmark.
+	if want("lp_pivot_heavy_ft") {
+		mark := lp.GlobalStats()
+		var pivots int
+		res := bench(func(tb *testing.B) {
+			tb.ReportAllocs()
+			for i := 0; i < tb.N; i++ {
+				sol, err := transportLP().Solve()
+				if err != nil {
+					tb.Fatal(err)
+				}
+				pivots = sol.Pivots
+			}
+		})
+		row := toResult("lp_pivot_heavy_ft", res)
+		if res.NsPerOp() > 0 {
+			row.PivotsPerSec = float64(pivots) / (float64(res.NsPerOp()) / 1e9)
+		}
+		row.LPStats = lpDelta(mark)
+		rep.Benchmarks = append(rep.Benchmarks, row)
 	}
 
 	// End-to-end alternating optimization over an hourly demand drift, with
@@ -537,6 +614,55 @@ func must(err error) {
 	if err != nil {
 		fatal(err)
 	}
+}
+
+// lpDelta returns the package-wide LP counter movement since mark, the
+// metadata attached to LP benchmark rows.
+func lpDelta(mark lp.GlobalCounters) *lp.GlobalCounters {
+	now := lp.GlobalStats()
+	return &lp.GlobalCounters{
+		Solves:       now.Solves - mark.Solves,
+		DualSolves:   now.DualSolves - mark.DualSolves,
+		PrimalPivots: now.PrimalPivots - mark.PrimalPivots,
+		DualPivots:   now.DualPivots - mark.DualPivots,
+		BoundFlips:   now.BoundFlips - mark.BoundFlips,
+		Refactors:    now.Refactors - mark.Refactors,
+		EtaUpdates:   now.EtaUpdates - mark.EtaUpdates,
+		EtaNNZ:       now.EtaNNZ - mark.EtaNNZ,
+	}
+}
+
+// transportLP builds the pivot-heavy benchmark instance: a 20x30
+// transportation problem whose supply rows are equalities, forcing a long
+// artificial-driven phase 1 before phase 2 rebalances shipments.
+func transportLP() *lp.Problem {
+	rng := rand.New(rand.NewSource(11))
+	const src, dst = 20, 30
+	p := lputil.NewProblem(src * dst)
+	for s := 0; s < src; s++ {
+		for d := 0; d < dst; d++ {
+			j := s*dst + d
+			p.SetBounds(j, 0, 40)
+			p.SetObjectiveCoeff(j, 1+9*rng.Float64())
+		}
+	}
+	for s := 0; s < src; s++ {
+		idx := make([]int, dst)
+		val := make([]float64, dst)
+		for d := 0; d < dst; d++ {
+			idx[d], val[d] = s*dst+d, 1
+		}
+		must(p.AddConstraint(idx, val, lp.EQ, 30))
+	}
+	for d := 0; d < dst; d++ {
+		idx := make([]int, src)
+		val := make([]float64, src)
+		for s := 0; s < src; s++ {
+			idx[s], val[s] = s*dst+d, 1
+		}
+		must(p.AddConstraint(idx, val, lp.GE, 20))
+	}
+	return p
 }
 
 func maxProcs() int {

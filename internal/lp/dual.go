@@ -1,0 +1,384 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file implements the dual simplex pivot loop used by warm restarts
+// whose retained basis lost primal feasibility but kept dual feasibility —
+// the shape of an RHS-only mutation (fault masks, demand drift) against an
+// optimal basis. Instead of re-running phase 1, the loop drives the primal
+// infeasibilities out one basis row at a time while keeping the reduced
+// costs sign-feasible, with a bound-flipping (long-step) ratio test that
+// flips boxed nonbasic columns across the pivot row before committing to a
+// basis exchange.
+//
+// The loop never declares a verdict on its own: if it cannot make progress
+// (no admissible entering column for a violated row, or a degenerate stall)
+// it returns errWarmFallback and the Solver re-solves cold, so infeasibility
+// proofs always come from the primal/phase-1 path that the differential
+// suite pins against the dense oracle.
+
+// dualFeasTol is the entry tolerance for the dual loop: a retained basis is
+// accepted as dual feasible when every nonbasic reduced cost is within
+// dualFeasTol of its optimal sign. It is deliberately looser than costTol —
+// entry-level drift is repaired by the primal polish pass that follows the
+// dual loop, which recomputes z and pivots any strays to optimality.
+const dualFeasTol = feasTol
+
+// dualCands is the admissible entering-candidate list of one dual pivot,
+// sorted by ratio (ties by column index for determinism). It is a
+// preallocated struct with parallel slices rather than a slice of structs
+// so sort.Sort receives an existing pointer and the hot path stays
+// allocation-free.
+type dualCands struct {
+	j     []int
+	a     []float64 // pivot-row alpha of the candidate
+	ratio []float64 // |z_j| / |alpha_j|
+	n     int
+}
+
+func (c *dualCands) ensure(n int) {
+	if cap(c.j) < n {
+		c.j = make([]int, n)
+		c.a = make([]float64, n)
+		c.ratio = make([]float64, n)
+	}
+	c.n = 0
+}
+
+func (c *dualCands) push(j int, a, ratio float64) {
+	c.j = c.j[:cap(c.j)]
+	c.a = c.a[:cap(c.a)]
+	c.ratio = c.ratio[:cap(c.ratio)]
+	c.j[c.n], c.a[c.n], c.ratio[c.n] = j, a, ratio
+	c.n++
+}
+
+func (c *dualCands) Len() int { return c.n }
+
+func (c *dualCands) Less(x, y int) bool {
+	//jcrlint:allow float-eq: deterministic tie-break ordering, not a tolerance decision
+	if c.ratio[x] != c.ratio[y] {
+		return c.ratio[x] < c.ratio[y]
+	}
+	return c.j[x] < c.j[y]
+}
+
+func (c *dualCands) Swap(x, y int) {
+	c.j[x], c.j[y] = c.j[y], c.j[x]
+	c.a[x], c.a[y] = c.a[y], c.a[x]
+	c.ratio[x], c.ratio[y] = c.ratio[y], c.ratio[x]
+}
+
+// dualFeasible reports whether the maintained reduced costs are within
+// dualFeasTol of their optimal signs: z_j >= -tol for nonbasic-at-lower
+// columns and z_j <= tol for nonbasic-at-upper ones (minimization
+// convention; fixed and frozen columns cannot move and do not constrain
+// dual feasibility).
+func (r *revised) dualFeasible() bool {
+	for j := 0; j < r.f.n; j++ {
+		if r.inRow[j] >= 0 || r.frozen[j] || r.f.ub[j] == 0 {
+			continue
+		}
+		z := r.z[j]
+		if !r.atUp[j] {
+			if z < -dualFeasTol {
+				return false
+			}
+		} else if z > dualFeasTol {
+			return false
+		}
+	}
+	return true
+}
+
+// dualIterate runs dual-simplex pivots until the basis is primal feasible
+// (within feasTol), sharing the per-solve pivot budget with the primal
+// loop. Row selection is most-infeasible. Primal feasibility is confirmed
+// on a freshly recomputed beta before returning, mirroring the fresh-z
+// confirmation of the primal loop.
+//
+//jcr:hotpath
+func (r *revised) dualIterate() error {
+	maxPivots := r.pivotLimit()
+	betaFresh := false
+	stall := 0
+	for r.pivots < maxPivots {
+		if r.ctx != nil && r.pivots%ctxCheckPivots == 0 {
+			if err := r.ctx.Err(); err != nil {
+				//jcrlint:allow hot-alloc: cancellation exit path, formats at most once per solve
+				return fmt.Errorf("lp: canceled after %d pivots: %w", r.pivots, err)
+			}
+		}
+		leave, caseUpper := r.mostInfeasibleRow()
+		if leave < 0 {
+			if betaFresh {
+				return nil // primal feasible, confirmed on fresh beta
+			}
+			r.recomputeBeta()
+			betaFresh = true
+			continue
+		}
+		betaFresh = false
+		theta, err := r.dualPivot(leave, caseUpper)
+		if err != nil {
+			return err
+		}
+		if math.Abs(theta) <= costTol {
+			stall++
+			if stall >= degenRun {
+				// A long dual-degenerate run risks cycling; hand the
+				// instance to the cold primal path, whose Bland fallback
+				// is the anti-cycling guarantee.
+				return errWarmFallback
+			}
+		} else {
+			stall = 0
+		}
+	}
+	return ErrIterationLimit
+}
+
+// mostInfeasibleRow returns the basis row with the largest primal bound
+// violation (beta below zero or above the basic column's upper bound), or
+// -1 if every basic value is within feasTol of its box. caseUpper reports
+// which bound is violated.
+func (r *revised) mostInfeasibleRow() (leave int, caseUpper bool) {
+	leave = -1
+	worst := feasTol
+	for i := 0; i < r.f.m; i++ {
+		v := r.beta[i]
+		if math.IsNaN(v) {
+			return -1, false // poisoned state; caller's checks handle it
+		}
+		if -v > worst {
+			worst = -v
+			leave = i
+			caseUpper = false
+		}
+		if u := r.f.ub[r.basis[i]]; v-u > worst {
+			worst = v - u
+			leave = i
+			caseUpper = true
+		}
+	}
+	return leave, caseUpper
+}
+
+// dualPivot fixes the primal infeasibility of basis row leave. It prices
+// the pivot row alpha = e_leave' B^-1 A against every nonbasic column,
+// gathers the admissible entering candidates, and walks them in increasing
+// ratio order flipping boxed columns across their bounds (each flip
+// shrinks the row's residual infeasibility without a basis change) until a
+// candidate must enter the basis; if the flips alone repair the row, no
+// exchange happens at all. Returns the dual step theta (0 for a flip-only
+// iteration). An inadmissible or numerically hopeless row yields
+// errWarmFallback so the Solver re-solves cold.
+//
+//jcr:hotpath
+func (r *revised) dualPivot(leave int, caseUpper bool) (float64, error) {
+	f := r.f
+	lv := r.basis[leave]
+	// Pivot row via one BTRAN: rho = B^-T e_leave, alpha_j = rho . A_j.
+	for i := range r.rho {
+		r.rho[i] = 0
+	}
+	r.rho[leave] = 1
+	r.b.btran(r.rho)
+	// rsign unifies the two violation cases: admissibility means the
+	// entering column can move beta[leave] toward its violated bound while
+	// the reduced costs keep their optimal signs. Deriving the sign rules
+	// (minimization): for a row below its lower bound (case L) a column at
+	// lower needs alpha < 0, one at upper needs alpha > 0; for a row above
+	// its upper bound (case U) the signs reverse.
+	rsign := -1.0
+	if caseUpper {
+		rsign = 1.0
+	}
+	viol := -r.beta[leave]
+	if caseUpper {
+		viol = r.beta[leave] - f.ub[lv]
+	}
+	r.dcand.ensure(f.n)
+	// Sparse pivot-row pricing: only columns touched by the gather can have
+	// nonzero alpha; every other column is inadmissible and owes no z
+	// maintenance after the exchange either. The candidate sort's total
+	// (ratio, index) order makes the gather's column order irrelevant. A
+	// dense pivot row prices every column the sequential way into the same
+	// alpha array, so the downstream loops are oblivious to which path ran.
+	touched, dn := r.priceRow()
+	if dn {
+		touched = r.alphaTouched[:f.n]
+		for j := range touched {
+			touched[j] = j
+			r.alpha[j] = f.dotCol(j, r.rho)
+		}
+	}
+	for _, j := range touched {
+		if r.inRow[j] >= 0 {
+			continue
+		}
+		a := r.alpha[j]
+		if a == 0 || r.frozen[j] || f.ub[j] == 0 {
+			continue
+		}
+		var admissible bool
+		var zc float64
+		if !r.atUp[j] {
+			admissible = rsign*a > pivotTol
+			zc = r.z[j]
+		} else {
+			admissible = rsign*a < -pivotTol
+			zc = -r.z[j]
+		}
+		if !admissible {
+			continue
+		}
+		if zc < 0 {
+			zc = 0 // entry-tolerance drift; treat as a zero-ratio candidate
+		}
+		r.dcand.push(j, a, zc/math.Abs(a))
+	}
+	if r.dcand.n == 0 {
+		// No admissible entering column: the row's infeasibility cannot be
+		// repaired on the dual side (the instance may be infeasible, or the
+		// basis numerically degraded). The cold primal path decides.
+		return 0, errWarmFallback
+	}
+	sort.Sort(&r.dcand)
+	// Bound-flipping walk: flipping candidate j across its box changes
+	// beta[leave] by |alpha_j| * ub_j toward feasibility. As long as the
+	// residual stays positive the flip is free (the dual objective only
+	// improves), so boxed candidates with small ratios flip instead of
+	// entering; the first candidate whose flip would overshoot enters.
+	enter := -1
+	nflip := 0
+	D := viol
+	for k := 0; k < r.dcand.n; k++ {
+		u := f.ub[r.dcand.j[k]]
+		if !math.IsInf(u, 1) {
+			if after := D - math.Abs(r.dcand.a[k])*u; after > 0 {
+				// Flip: record by compacting flipped candidates to the
+				// front of the list, apply them together below.
+				r.dcand.Swap(nflip, k)
+				nflip++
+				D = after
+				continue
+			}
+		}
+		enter = k
+		break
+	}
+	if enter < 0 && D > feasTol {
+		// Every candidate flipped yet the row is still infeasible — the
+		// walk cannot happen this way (a flip is only taken while the
+		// residual stays positive), so this is a numerically poisoned row.
+		return 0, errWarmFallback
+	}
+	if nflip > 0 {
+		r.applyBoundFlips(nflip)
+	}
+	if enter < 0 {
+		// The flips alone repaired the row to within feasTol: a bound-flip
+		// iteration with no basis change.
+		r.pivots++
+		return 0, nil
+	}
+	e := r.dcand.j[enter]
+	// Entering direction and step: d = B^-1 A_e (post-flip beta; the flips
+	// did not change the basis, so d is unaffected by their order).
+	for i := range r.d {
+		r.d[i] = 0
+	}
+	f.scatterCol(e, r.d)
+	r.b.ftran(r.d)
+	ae := r.d[leave]
+	if math.Abs(ae) <= pivotTol {
+		// The FTRAN column disagrees with the BTRAN row pricing — the
+		// factorization has degraded past use. Cold solve re-derives it.
+		return 0, errWarmFallback
+	}
+	sigma := 1.0
+	if r.atUp[e] {
+		sigma = -1.0
+	}
+	target := 0.0
+	if caseUpper {
+		target = f.ub[lv]
+	}
+	t := (r.beta[leave] - target) / (sigma * ae)
+	if t < 0 {
+		t = 0 // roundoff; admissibility guarantees the true step is >= 0
+	}
+	if t > 0 {
+		for i := 0; i < f.m; i++ {
+			r.beta[i] -= sigma * t * r.d[i]
+		}
+	}
+	enterVal := t
+	if r.atUp[e] {
+		enterVal = f.ub[e] - t
+	}
+	theta := r.z[e] / ae
+	r.inRow[lv] = -1
+	r.atUp[lv] = caseUpper
+	r.basis[leave] = e
+	r.inRow[e] = leave
+	r.atUp[e] = false
+	r.beta[leave] = enterVal
+	r.pivots++
+	r.dualPivots++
+	// Maintain z across the exchange from the pivot-row alphas cached by
+	// the candidate gather (alpha_lv = 1 exactly, landing z_lv = -theta).
+	// Devex weights are left to the primal polish pass, which reprices
+	// from scratch anyway. Then fold the exchange into the factorization.
+	for _, j := range touched {
+		if r.inRow[j] >= 0 || j == lv {
+			continue
+		}
+		a := r.alpha[j]
+		if a == 0 {
+			continue
+		}
+		r.z[j] -= theta * a
+	}
+	r.z[lv] -= theta // alpha_lv = 1 exactly: the leaving column maps to e_leave
+	r.z[e] = 0
+	r.zOK = false
+	if r.b.update(leave, r.d) {
+		if err := r.refactor(); err != nil {
+			return 0, err
+		}
+	}
+	return theta, nil
+}
+
+// applyBoundFlips flips the first nflip candidates of dcand across their
+// boxes and folds the combined basic-value correction into beta with a
+// single FTRAN: beta -= B^-1 sum_j dx_j A_j, where dx_j = +ub_j for a
+// lower-to-upper flip and -ub_j for the reverse.
+func (r *revised) applyBoundFlips(nflip int) {
+	f := r.f
+	for i := range r.d {
+		r.d[i] = 0
+	}
+	for k := 0; k < nflip; k++ {
+		j := r.dcand.j[k]
+		dx := f.ub[j]
+		if r.atUp[j] {
+			dx = -dx
+		}
+		r.atUp[j] = !r.atUp[j]
+		for p := f.colPtr[j]; p < f.colPtr[j+1]; p++ {
+			r.d[f.rowInd[p]] += f.values[p] * dx
+		}
+	}
+	r.b.ftran(r.d)
+	for i := 0; i < f.m; i++ {
+		r.beta[i] -= r.d[i]
+	}
+	r.boundFlips += nflip
+}

@@ -86,6 +86,46 @@ type Problem struct {
 	// warm-starts only across data changes, and uses structGen to detect
 	// cheaply that an instance it solved before kept its skeleton.
 	structGen int
+
+	// mut is a bounded log of data-only mutations since the last log
+	// reset, and mutEpoch counts resets. A reusable Solver remembers the
+	// (epoch, position) it last solved at; if the epoch is unchanged it
+	// replays only the tail of the log instead of rescanning the whole
+	// problem, which makes an RHS-only warm restart O(changed rows)
+	// rather than O(nnz). When the log would outgrow mutLogCap it is
+	// cleared and the epoch bumped, which simply demotes the next warm
+	// start to a full rescan.
+	mut      []mutation
+	mutEpoch int
+}
+
+// mutKind tags one entry of the data-mutation log.
+type mutKind uint8
+
+const (
+	mutObj mutKind = iota + 1
+	mutBounds
+	mutRHS
+	mutCoeff
+	mutSense
+)
+
+// mutation records one data-only edit: kind plus the constraint row i
+// and/or variable j it touched (unused coordinates are -1).
+type mutation struct {
+	kind mutKind
+	i, j int32
+}
+
+// mutLogCap bounds the mutation log; see the field comment.
+const mutLogCap = 1024
+
+func (p *Problem) noteMut(k mutKind, i, j int) {
+	if len(p.mut) >= mutLogCap {
+		p.mut = p.mut[:0]
+		p.mutEpoch++
+	}
+	p.mut = append(p.mut, mutation{kind: k, i: int32(i), j: int32(j)})
 }
 
 // NewProblem returns a problem with n variables, default bounds [0, +Inf),
@@ -111,10 +151,16 @@ func (p *Problem) NumVars() int { return p.nvars }
 func (p *Problem) NumConstraints() int { return len(p.cons) }
 
 // SetObjectiveCoeff sets the objective coefficient of variable j.
-func (p *Problem) SetObjectiveCoeff(j int, c float64) { p.obj[j] = c }
+func (p *Problem) SetObjectiveCoeff(j int, c float64) {
+	p.obj[j] = c
+	p.noteMut(mutObj, -1, j)
+}
 
 // SetSense selects minimization or maximization.
-func (p *Problem) SetSense(s Sense) { p.sense = s }
+func (p *Problem) SetSense(s Sense) {
+	p.sense = s
+	p.noteMut(mutSense, -1, -1)
+}
 
 // SetBounds sets l <= x_j <= u. The lower bound must be finite and not
 // exceed the upper bound; violations panic as they are programming errors.
@@ -129,6 +175,7 @@ func (p *Problem) SetBounds(j int, lo, hi float64) {
 	}
 	p.lower[j] = lo
 	p.upper[j] = hi
+	p.noteMut(mutBounds, -1, j)
 }
 
 // AddConstraint adds the sparse constraint sum_k val[k]*x[idx[k]] (op) rhs.
@@ -169,6 +216,7 @@ func (p *Problem) SetConstraintRHS(i int, rhs float64) error {
 		return fmt.Errorf("%w: constraint %d has non-finite right-hand side %v", ErrBadConstraint, i, rhs)
 	}
 	p.cons[i].rhs = rhs
+	p.noteMut(mutRHS, i, -1)
 	return nil
 }
 
@@ -185,6 +233,7 @@ func (p *Problem) SetConstraintCoeff(i, j int, v float64) error {
 	for k, jj := range c.idx {
 		if jj == j {
 			c.val[k] = v
+			p.noteMut(mutCoeff, i, j)
 			return nil
 		}
 	}
@@ -246,8 +295,25 @@ type Solution struct {
 	X []float64
 	// Objective is the optimal objective value in the problem's sense.
 	Objective float64
-	// Pivots counts simplex pivots across both phases.
+	// Pivots counts simplex iterations across both phases, including
+	// bound flips; it is PrimalPivots + DualPivots + flip-only steps.
 	Pivots int
+	// PrimalPivots and DualPivots count basis exchanges performed by the
+	// primal and dual pivot loops respectively.
+	PrimalPivots int
+	DualPivots   int
+	// BoundFlips counts boxed nonbasic variables flipped from one bound
+	// to the other without a basis change (primal long steps and the
+	// dual bound-flipping ratio test).
+	BoundFlips int
+	// Refactors counts basis LU (re)factorizations, including the
+	// initial one of a cold solve.
+	Refactors int
+	// EtaUpdates and EtaNNZ count product-form basis updates appended to
+	// the eta file and their total stored off-pivot nonzeros; their ratio
+	// is the average eta density (SolverStats.AvgEtaNNZ).
+	EtaUpdates int
+	EtaNNZ     int
 }
 
 // Value evaluates the problem's objective at x.
@@ -294,7 +360,10 @@ func (p *Problem) SolveContext(ctx context.Context) (*Solution, error) {
 		return nil, err
 	}
 	x := r.extract()
-	return &Solution{X: x, Objective: p.Value(x), Pivots: r.pivots}, nil
+	sol := &Solution{X: x, Objective: p.Value(x), Pivots: r.pivots}
+	r.fillCounters(sol)
+	addGlobalCounters(sol, false)
+	return sol, nil
 }
 
 // SolveDense runs the original dense two-phase tableau simplex. It is kept

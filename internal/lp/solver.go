@@ -8,22 +8,47 @@ import (
 
 // SolverStats counts what a reusable Solver actually did, so callers (and
 // the differential suite) can verify that warm starts happen instead of
-// silently degrading to cold solves.
+// silently degrading to cold solves, and diagnose pricing-rule regressions
+// without a profiler.
 type SolverStats struct {
 	// Solves is the total number of SolveContext calls.
 	Solves int
 	// WarmHits counts solves completed from the retained basis.
 	WarmHits int
+	// WarmDualHits counts the subset of WarmHits that restored primal
+	// feasibility through the dual simplex (a retained basis left primal
+	// infeasible but dual feasible by the mutation, typically RHS-only).
+	WarmDualHits int
 	// ColdSolves counts solves that (re)built all state from scratch,
 	// including the cold halves of abandoned warm attempts.
 	ColdSolves int
 	// Fallbacks counts warm-start attempts abandoned for a cold solve
-	// (structural value outside the frozen sparsity pattern, a basis no
-	// longer primal feasible, numerical failure, or any pivot-loop error).
+	// (structural value outside the frozen sparsity pattern, a basis
+	// neither primal nor dual feasible, numerical failure, or any
+	// pivot-loop error).
 	Fallbacks int
 	// DenseFallbacks counts cold solves that fell through to the dense
 	// tableau oracle after a sparse numerical failure.
 	DenseFallbacks int
+
+	// Cumulative per-solve iteration counters (see Solution for the
+	// per-solve meanings).
+	PrimalPivots int64
+	DualPivots   int64
+	BoundFlips   int64
+	Refactors    int64
+	EtaUpdates   int64
+	EtaNNZ       int64
+}
+
+// AvgEtaNNZ is the average off-pivot nonzero count of the product-form
+// basis updates, the density the work-triggered refactorization budgets
+// against. Zero when no updates were appended.
+func (s SolverStats) AvgEtaNNZ() float64 {
+	if s.EtaUpdates == 0 {
+		return 0
+	}
+	return float64(s.EtaNNZ) / float64(s.EtaUpdates)
 }
 
 // errWarmFallback tags an abandoned warm-start attempt; the Solver catches
@@ -41,7 +66,7 @@ var forceWarmNumericFailure bool
 // Problem.SolveContext rebuilds the standardized form, factorizes the
 // slack/artificial basis, and runs phase 1 before every solve; a Solver
 // instead retains the previous solve's optimal basis, LU/eta factorization,
-// and pricing scratch, and warm-starts the next solve when the problem is
+// and pricing state, and warm-starts the next solve when the problem is
 // structurally unchanged — the workhorse loops (alternating optimization,
 // the hourly online controller, experiment sweeps) solve long sequences of
 // such problems.
@@ -50,14 +75,25 @@ var forceWarmNumericFailure bool
 // skeleton as the retained one (same variable count and, row by row, the
 // same operator and index pattern — objective, bounds, right-hand sides,
 // and coefficient values are free to move). The standardized form is then
-// updated in place; the LU is refactorized only when matrix values actually
-// changed; the retained basis is kept only if it is still primal feasible
-// for the new data. Any failure along the way — pattern mismatch, lost
-// feasibility, numerical trouble, an error from the pivot loop — abandons
-// the attempt and re-solves cold, so a Solver's verdict and objective always
-// match a fresh Problem.SolveContext to within the solver tolerances (the
-// differential suite pins this at 1e-9). Solutions may differ across warm
-// and cold paths only as alternate optima.
+// updated in place — replaying the problem's data-mutation log when the
+// handle solved this exact Problem before (O(changes)), or rescanning the
+// skeleton otherwise — and the solve walks a decision ladder:
+//
+//  1. retained basis still primal feasible: primal iterations from the
+//     retained basis, factorization, and reduced costs;
+//  2. primal infeasible but dual feasible (the RHS-only perturbation
+//     shape): dual simplex pivots restore primal feasibility, then a
+//     primal polish pass confirms optimality;
+//  3. neither: cold solve (phase 1 + phase 2 from scratch);
+//  4. sparse numerical failure anywhere: dense tableau oracle.
+//
+// Any failure along the way abandons the attempt one rung down, so a
+// Solver's verdict and objective always match a fresh Problem.SolveContext
+// to within the solver tolerances (the differential suite pins this at
+// 1e-9). Solutions may differ across warm and cold paths only as alternate
+// optima. Infeasibility is never declared on the dual rung: a stalled or
+// stuck dual loop falls back to the cold primal path, whose phase-1
+// verdict is the one differential-tested against the dense oracle.
 //
 // A Solver is not safe for concurrent use. Never share one across parallel
 // workers (e.g. Monte-Carlo samples): per-sequence handles keep `-workers N`
@@ -71,6 +107,31 @@ type Solver struct {
 	structGen int
 	hasBasis  bool
 	stats     SolverStats
+
+	// Position in prob's data-mutation log after the last successful
+	// solve; valid while logEpoch matches prob.mutEpoch.
+	logEpoch int
+	logPos   int
+
+	// Reused scratch of the incremental warm update.
+	patchCols []int
+	rhsRows   []int
+	rhsDeltas []float64
+
+	// deltaSolves counts consecutive warm solves whose beta was advanced
+	// by sparse RHS-delta FTRANs; a periodic full recompute sheds the
+	// accumulated drift.
+	deltaSolves int
+}
+
+// warmChange summarizes what a warm update actually changed, which decides
+// how much retained state survives.
+type warmChange struct {
+	ok        bool // false: data no longer fits the frozen skeleton
+	full      bool // full rescan ran (foreign pointer or log overflow)
+	valsBasic bool // a basic column's matrix value moved: refactorize
+	bounds    bool // some bound moved: recompute beta, re-check strands
+	costsFull bool // sense flip or basic-column objective change
 }
 
 // NewSolver returns an empty handle; its first solve is necessarily cold.
@@ -110,20 +171,45 @@ func (s *Solver) SolveContext(ctx context.Context, p *Problem) (*Solution, error
 	}
 	s.stats.Solves++
 	if s.hasBasis && s.matches(p) {
-		sol, err := s.warmSolve(ctx, p)
+		sol, viaDual, err := s.warmSolve(ctx, p)
 		if err == nil {
 			s.stats.WarmHits++
-			s.prob = p
-			s.structGen = p.structGen
+			if viaDual {
+				s.stats.WarmDualHits++
+			}
+			s.noteSolution(sol, viaDual)
+			s.retain(p)
 			return sol, nil
 		}
 		// Every warm-path failure — structural slot mismatch, numerics,
-		// lost feasibility, or a pivot-loop error (including context
-		// cancellation, whose partial pivots invalidated the state) —
-		// falls back to an authoritative cold solve.
+		// a basis neither primal nor dual feasible, or a pivot-loop error
+		// (including context cancellation, whose partial pivots
+		// invalidated the state) — falls back to an authoritative cold
+		// solve.
 		s.stats.Fallbacks++
 	}
 	return s.coldSolve(ctx, p)
+}
+
+// retain records p as the problem behind the retained basis, including the
+// mutation-log position future warm solves replay from.
+func (s *Solver) retain(p *Problem) {
+	s.prob = p
+	s.structGen = p.structGen
+	s.logEpoch = p.mutEpoch
+	s.logPos = len(p.mut)
+}
+
+// noteSolution folds a successful solve's per-solve counters into the
+// cumulative stats and the package-wide counters.
+func (s *Solver) noteSolution(sol *Solution, viaDual bool) {
+	s.stats.PrimalPivots += int64(sol.PrimalPivots)
+	s.stats.DualPivots += int64(sol.DualPivots)
+	s.stats.BoundFlips += int64(sol.BoundFlips)
+	s.stats.Refactors += int64(sol.Refactors)
+	s.stats.EtaUpdates += int64(sol.EtaUpdates)
+	s.stats.EtaNNZ += int64(sol.EtaNNZ)
+	addGlobalCounters(sol, viaDual)
 }
 
 // matches reports whether p has the same structural skeleton as the problem
@@ -157,55 +243,204 @@ func (s *Solver) matches(p *Problem) bool {
 	return true
 }
 
-// warmSolve attempts to re-solve p from the retained optimal basis. Any
-// returned error means the caller must fall back to a cold solve; the
-// retained state may then be arbitrarily clobbered, which is fine because
-// coldSolve rebuilds it from scratch.
-func (s *Solver) warmSolve(ctx context.Context, p *Problem) (*Solution, error) {
+// applyMuts replays the tail of p's data-mutation log against the retained
+// standardized form, cost vector, and reduced costs, recording row deltas
+// and columns to reprice as it goes. It is the O(changes) alternative to
+// updateFrom's full rescan, valid because p is the identical Problem the
+// form was last synchronized with.
+func (s *Solver) applyMuts(p *Problem, muts []mutation) (ch warmChange) {
 	r := s.r
-	ok, changed := r.f.updateFrom(p)
-	if !ok {
-		return nil, errWarmFallback
+	ch.ok = true
+	sign := 1.0
+	if p.sense == Maximize {
+		sign = -1.0
+	}
+	for _, m := range muts {
+		switch m.kind {
+		case mutRHS:
+			i := int(m.i)
+			if d := r.f.refreshRHS(p, i); d != 0 {
+				s.rhsRows = append(s.rhsRows, i)
+				s.rhsDeltas = append(s.rhsDeltas, d)
+			}
+		case mutObj:
+			j := int(m.j)
+			r.c[j] = sign * p.obj[j]
+			if r.inRow[j] >= 0 {
+				ch.costsFull = true // basic cost moved: every dual moves
+			} else {
+				s.patchCols = append(s.patchCols, j)
+			}
+		case mutSense:
+			sign = 1.0
+			if p.sense == Maximize {
+				sign = -1.0
+			}
+			ch.costsFull = true
+		case mutBounds:
+			r.f.refreshColBound(p, int(m.j))
+			ch.bounds = true
+		case mutCoeff:
+			i, j := int(m.i), int(m.j)
+			ok, changed := r.f.refreshCoeff(p, i, j)
+			if !ok {
+				ch.ok = false
+				return ch
+			}
+			if d := r.f.refreshRHS(p, i); d != 0 {
+				s.rhsRows = append(s.rhsRows, i)
+				s.rhsDeltas = append(s.rhsDeltas, d)
+			}
+			if changed {
+				if r.inRow[j] >= 0 {
+					ch.valsBasic = true
+				} else {
+					s.patchCols = append(s.patchCols, j)
+					if r.atUp[j] && r.f.ub[j] > 0 {
+						// A nonbasic-at-upper column contributes A_j u_j
+						// to the basic values; its changed column forces
+						// a beta recomputation.
+						ch.bounds = true
+					}
+				}
+			}
+		}
+	}
+	return ch
+}
+
+// warmSolve attempts to re-solve p from the retained optimal basis, walking
+// the decision ladder of the type comment. viaDual reports that the dual
+// simplex restored primal feasibility. Any returned error means the caller
+// must fall back to a cold solve; the retained state may then be
+// arbitrarily clobbered, which is fine because coldSolve rebuilds it from
+// scratch.
+func (s *Solver) warmSolve(ctx context.Context, p *Problem) (sol *Solution, viaDual bool, err error) {
+	r := s.r
+	r.statsMark()
+	s.patchCols = s.patchCols[:0]
+	s.rhsRows = s.rhsRows[:0]
+	s.rhsDeltas = s.rhsDeltas[:0]
+	var ch warmChange
+	if p == s.prob && p.mutEpoch == s.logEpoch && s.logPos <= len(p.mut) {
+		ch = s.applyMuts(p, p.mut[s.logPos:])
+	} else {
+		ok, changed := r.f.updateFrom(p)
+		ch = warmChange{ok: ok, full: true, valsBasic: changed}
+	}
+	if !ch.ok {
+		return nil, false, errWarmFallback
 	}
 	r.p = p
 	r.ctx = ctx
-	if changed || forceWarmNumericFailure {
+	// Rung 0: refresh the factorization and the basic values, as cheaply
+	// as the change set allows.
+	if ch.valsBasic || forceWarmNumericFailure {
 		ferr := r.b.refactor(r.f, r.basis)
 		if forceWarmNumericFailure {
 			forceWarmNumericFailure = false
 			ferr = errNumeric
 		}
 		if ferr != nil {
-			return nil, ferr
+			return nil, false, ferr
 		}
 	}
-	// A bound change can strand a nonbasic variable at an upper bound that
-	// no longer exists (grew to +Inf) or collapsed onto the lower bound;
-	// those rest at their lower bound instead.
-	for j := 0; j < r.f.nStruct; j++ {
-		if r.atUp[j] && r.inRow[j] < 0 && (math.IsInf(r.f.ub[j], 1) || r.f.ub[j] == 0) {
-			r.atUp[j] = false
+	if ch.full || ch.bounds {
+		// A bound change can strand a nonbasic variable at an upper bound
+		// that no longer exists (grew to +Inf) or collapsed onto the lower
+		// bound; those rest at their lower bound instead.
+		for j := 0; j < r.f.nStruct; j++ {
+			if r.atUp[j] && r.inRow[j] < 0 && (math.IsInf(r.f.ub[j], 1) || r.f.ub[j] == 0) {
+				r.atUp[j] = false
+			}
 		}
 	}
-	r.recomputeBeta()
-	// The retained basis survives only if it is still primal feasible for
-	// the new right-hand sides and bounds; otherwise restoring feasibility
-	// would need phase 1 anyway, which is what the cold path does.
+	switch {
+	case ch.valsBasic || ch.full || ch.bounds:
+		r.recomputeBeta()
+		s.deltaSolves = 0
+	case len(s.rhsRows) > 0:
+		// RHS-only movement: advance beta by one FTRAN of the deltas.
+		// Every deltaRecompute-th consecutive delta-advanced solve takes
+		// the full recomputation instead, shedding accumulated drift.
+		s.deltaSolves++
+		if s.deltaSolves >= deltaRecompute {
+			r.recomputeBeta()
+			s.deltaSolves = 0
+		} else {
+			r.applyRHSDeltas(s.rhsRows, s.rhsDeltas)
+		}
+	}
+	// Refresh costs and reduced costs to match. confirmed tracks whether
+	// the refreshed z is known dual feasible without a pricing sweep: the
+	// previous solve confirmed optimality on fresh reduced costs, and the
+	// mutations either left z untouched (RHS-only movement) or repriced
+	// exactly the patched columns against the still-valid duals. Bound
+	// edits void the shortcut — they can flip atUp flags and with them the
+	// attractiveness test on columns nobody repriced.
+	confirmed := r.zOK && !ch.full && !ch.bounds
+	switch {
+	case ch.full || ch.costsFull:
+		r.setPhase2Costs()
+		r.computeZ()
+		confirmed = false
+	case ch.valsBasic:
+		r.computeZ()
+		confirmed = false
+	case len(s.patchCols) > 0:
+		if !r.zOK {
+			r.computeZ() // retained duals unexpectedly stale: reprice everything
+		} else if !r.patchZ(s.patchCols) {
+			confirmed = false
+		}
+	}
+	// Rung 1: retained basis still primal feasible — primal iterations.
+	// Rung 2: primal infeasible but dual feasible — dual simplex, then a
+	// primal polish pass that recomputes z and confirms optimality.
+	if !r.primalFeasible() {
+		if !r.dualFeasible() {
+			return nil, false, errWarmFallback
+		}
+		if derr := r.dualIterate(); derr != nil {
+			return nil, false, derr
+		}
+		if !r.primalFeasible() {
+			return nil, false, errWarmFallback
+		}
+		r.zOK = false
+		confirmed = false
+		viaDual = true
+	}
+	r.degenerate = 0
+	// A confirmed-optimal basis skips the pricing sweep entirely: iterate()
+	// would rescan all n columns only to find the same unattractive reduced
+	// costs the shortcut already vouches for.
+	if !confirmed {
+		if ierr := r.iterate(); ierr != nil {
+			return nil, false, ierr
+		}
+	}
+	x := r.extract()
+	sol = &Solution{X: x, Objective: p.Value(x), Pivots: r.pivots}
+	r.fillCounters(sol)
+	return sol, viaDual, nil
+}
+
+// deltaRecompute bounds how many consecutive warm solves may advance beta
+// by sparse delta FTRANs before a full recomputation sheds the drift.
+const deltaRecompute = 64
+
+// primalFeasible reports whether every basic value is inside its box
+// (within feasTol) and finite.
+func (r *revised) primalFeasible() bool {
 	for i := 0; i < r.f.m; i++ {
 		v := r.beta[i]
 		u := r.f.ub[r.basis[i]]
 		if math.IsNaN(v) || v < -feasTol || v > u+feasTol {
-			return nil, errWarmFallback
+			return false
 		}
 	}
-	r.setPhase2Costs()
-	r.pivots = 0
-	r.degenerate = 0
-	if err := r.iterate(); err != nil {
-		return nil, err
-	}
-	x := r.extract()
-	return &Solution{X: x, Objective: p.Value(x), Pivots: r.pivots}, nil
+	return true
 }
 
 // coldSolve mirrors Problem.SolveContext (same pivot sequence, same dense
@@ -221,14 +456,20 @@ func (s *Solver) coldSolve(ctx context.Context, p *Problem) (*Solution, error) {
 	if err := r.solve(); err != nil {
 		if errors.Is(err, errNumeric) {
 			s.stats.DenseFallbacks++
-			return p.SolveDense(ctx)
+			sol, derr := p.SolveDense(ctx)
+			if derr == nil {
+				addGlobalCounters(sol, false)
+			}
+			return sol, derr
 		}
 		return nil, err
 	}
 	s.r = r
-	s.prob = p
-	s.structGen = p.structGen
 	s.hasBasis = true
+	s.retain(p)
 	x := r.extract()
-	return &Solution{X: x, Objective: p.Value(x), Pivots: r.pivots}, nil
+	sol := &Solution{X: x, Objective: p.Value(x), Pivots: r.pivots}
+	r.fillCounters(sol)
+	s.noteSolution(sol, false)
+	return sol, nil
 }

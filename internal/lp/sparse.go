@@ -20,6 +20,19 @@ type stdForm struct {
 	rowInd []int
 	values []float64
 
+	// Row-major mirror of the CSC pattern for pivot-row pricing: row i's
+	// entries are rowPtr[i]..rowPtr[i+1], each naming its column (rowCol)
+	// and the position of its value inside the CSC values array (rowPos).
+	// Values are read through rowPos, so warm updates that rewrite CSC
+	// values never need to resynchronize the mirror. Within a row the
+	// columns appear in ascending order. Built lazily by the first
+	// priceRow call (rowPtr == nil until then): a solve that never prices
+	// a pivot row — the zero/few-pivot one-shot case — skips the O(nnz)
+	// build entirely.
+	rowPtr []int
+	rowCol []int
+	rowPos []int
+
 	ub     []float64 // shifted upper bounds, len n (artificials +Inf)
 	rhs    []float64 // normalized right-hand sides, len m (all >= 0)
 	basis0 []int     // initial basic column per row (slack or artificial)
@@ -171,6 +184,31 @@ func newStdForm(p *Problem) *stdForm {
 	return f
 }
 
+// buildRowMirror derives the row-major view of the frozen CSC pattern.
+// Iterating columns in ascending order per row keeps the mirror's column
+// order sorted, which the sparse pivot-row gather relies on for
+// accumulation order identical to dotCol's.
+func (f *stdForm) buildRowMirror() {
+	f.rowPtr = make([]int, f.m+1)
+	for _, i := range f.rowInd {
+		f.rowPtr[i+1]++
+	}
+	for i := 0; i < f.m; i++ {
+		f.rowPtr[i+1] += f.rowPtr[i]
+	}
+	f.rowCol = make([]int, len(f.rowInd))
+	f.rowPos = make([]int, len(f.rowInd))
+	next := append([]int(nil), f.rowPtr[:f.m]...)
+	for j := 0; j < f.n; j++ {
+		for s := f.colPtr[j]; s < f.colPtr[j+1]; s++ {
+			i := f.rowInd[s]
+			f.rowCol[next[i]] = j
+			f.rowPos[next[i]] = s
+			next[i]++
+		}
+	}
+}
+
 // updateFrom rewrites the numeric payload of f — structural coefficient
 // values, right-hand sides, and structural upper bounds — from p, which must
 // be structurally identical to the problem f was built from: the same
@@ -225,6 +263,64 @@ func (f *stdForm) updateFrom(p *Problem) (ok, changed bool) {
 		f.rhs[i] = sign * rhs
 	}
 	return true, changed
+}
+
+// refreshRHS recomputes the normalized right-hand side of row i from p
+// (rhs minus the structural-lower-bound shift, under the frozen row sign)
+// and returns how much it moved. It is the O(row-nnz) unit of an
+// incremental warm update, against updateFrom's full rescan.
+func (f *stdForm) refreshRHS(p *Problem, i int) float64 {
+	c := &p.cons[i]
+	rhs := c.rhs
+	for k, j := range c.idx {
+		rhs -= c.val[k] * p.lower[j]
+	}
+	if f.neg[i] {
+		rhs = -rhs
+	}
+	delta := rhs - f.rhs[i]
+	f.rhs[i] = rhs
+	return delta
+}
+
+// refreshCoeff rewrites the CSC value of entry (i, j) from p's constraint
+// data. ok is false when the entry has no CSC slot (it was exactly zero
+// when the pattern was built) and the new value is nonzero — the frozen
+// skeleton cannot hold it, forcing a cold rebuild. changed reports whether
+// the stored value moved. The caller refreshes row i's right-hand side
+// separately (the lower-bound shift of the row involves the coefficient).
+func (f *stdForm) refreshCoeff(p *Problem, i, j int) (ok, changed bool) {
+	var v float64
+	for k, jj := range p.cons[i].idx {
+		if jj == j {
+			v = p.cons[i].val[k]
+			break
+		}
+	}
+	if f.neg[i] {
+		v = -v
+	}
+	for s := f.colPtr[j]; s < f.colPtr[j+1]; s++ {
+		if f.rowInd[s] == i {
+			//jcrlint:allow float-eq: exact-change detection decides refactorization, not a tolerance check
+			if f.values[s] != v {
+				f.values[s] = v
+				return true, true
+			}
+			return true, false
+		}
+	}
+	return v == 0, false
+}
+
+// refreshColBound rewrites the shifted upper bound of structural column j
+// and the right-hand sides of every row the column touches (a lower-bound
+// move shifts them all).
+func (f *stdForm) refreshColBound(p *Problem, j int) {
+	f.ub[j] = p.upper[j] - p.lower[j]
+	for s := f.colPtr[j]; s < f.colPtr[j+1]; s++ {
+		f.refreshRHS(p, f.rowInd[s])
+	}
 }
 
 // scatterCol adds column j of the matrix into the dense vector x.

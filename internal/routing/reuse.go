@@ -52,10 +52,12 @@ type Reuse struct {
 	// Partition-aware solve caches (decompose.go): the cell decomposition
 	// snapshot, keyed on the base graph's freshness and the assignment
 	// content (with a Rebase fast path onto faults-degraded graphs), and
-	// the per-cell LP skeletons with their warm solver handles, keyed on
-	// the auxiliary graph's pointer and generation — between alternating
+	// the per-cell LP skeletons with their solver handles, keyed on the
+	// auxiliary graph's pointer and generation — between alternating
 	// rounds only the conservation right-hand sides and variable bounds
-	// move, so every cell re-solves warm.
+	// move, so the skeletons mutate in place. The solver handles are reset
+	// between top-level calls (see cellPrograms) and warm-start only the
+	// within-call price-coordination re-solves.
 	dcSet   *graph.CellSet
 	dcAux   *graph.Auxiliary
 	dcGen   uint64
@@ -285,6 +287,18 @@ func (r *Reuse) cellSet(base *graph.Graph, assign []int) (*graph.CellSet, error)
 func (r *Reuse) cellPrograms(cs *graph.CellSet, aux *graph.Auxiliary, active []itemDemand) ([]*cellProg, error) {
 	if r != nil && r.dcProgs != nil && r.dcSet == cs && r.dcAux == aux && r.dcGen == aux.G.Gen() &&
 		mutateCellPrograms(r.dcProgs, active) {
+		// Drop the solver state retained from the previous top-level call.
+		// The price-coordination LPs are dual degenerate by construction
+		// (the prices equalize arc costs), so a warm start from a
+		// foreign basis can terminate at a different alternate optimum,
+		// fork the subgradient trajectory, and change the reported dual
+		// bound — violating the handle's results-never-change contract.
+		// A cold first iteration makes every call's solve sequence a pure
+		// function of the instance; the within-call re-solves (the bulk)
+		// still warm-start.
+		for _, pr := range r.dcProgs {
+			pr.solver.Invalidate()
+		}
 		return r.dcProgs, nil
 	}
 	progs, err := buildCellPrograms(cs, aux, active)
